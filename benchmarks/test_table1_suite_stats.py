@@ -1,0 +1,42 @@
+"""Table I: test-graph statistics (n, m, davg, dmax, approximate diameter).
+
+Regenerates the paper's Table I for the class-representative suite, using
+the paper's diameter estimator (10 iterated BFS sweeps).
+
+Shape to reproduce: social/rmat classes show high dmax and small D~;
+the web-crawl class sits between; randhd and mesh show bounded degree and
+large D~ (the paper's nlpkkt / InternalMesh / RandHD rows).
+"""
+
+from repro.bench import ExperimentTable
+from repro.graph.metrics import graph_stats_row
+from repro.suite import suite_names
+
+
+def test_table1_suite_stats(benchmark, suite_graph):
+    table = ExperimentTable(
+        "table1_suite_stats",
+        ["graph", "n", "m", "davg", "dmax", "diameter"],
+        notes="Table I analog: suite statistics incl. 10-sweep diameter",
+    )
+
+    def experiment():
+        rows = {}
+        for name in suite_names():
+            g = suite_graph(name, "small")
+            rows[name] = graph_stats_row(name, g, diameter_sweeps=10, seed=1)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for name, row in sorted(rows.items()):
+        table.add(name, row.n, row.m, round(row.davg, 2), row.dmax, row.diameter)
+    table.emit()
+
+    stats = {name: row for name, row in rows.items()}
+    # skewed classes: heavy max degree, small diameter
+    assert stats["social"].dmax > 20 * stats["social"].davg
+    assert stats["rmat"].dmax > 20 * stats["rmat"].davg
+    # regular classes: bounded degree, larger diameter
+    assert stats["mesh"].dmax <= 30
+    assert stats["randhd"].diameter > 5 * stats["social"].diameter
+    assert stats["mesh"].diameter > 2 * stats["social"].diameter

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Vertex-weighted partitioning (the PuLP family's weighted extension).
+
+Real workloads rarely cost the same per vertex: mesh cells carry different
+element counts, web pages different index sizes, users different activity.
+This example partitions a mesh whose vertices carry heavy-tailed weights
+and shows that the unweighted partitioner silently violates the *weighted*
+balance the application actually needs, while `vertex_weights=` restores
+it at nearly the same cut.
+
+Run:  python examples/weighted_partitioning.py
+"""
+
+import numpy as np
+
+from repro.core import xtrapulp
+from repro.core.quality import vertex_balance
+from repro.graph import mesh3d
+
+P = 8
+
+
+def main() -> None:
+    graph = mesh3d(16, 16, 16)
+    rng = np.random.default_rng(7)
+    weights = 1.0 + rng.pareto(2.0, graph.n) * 3.0  # heavy-tailed cost
+    print(f"graph: {graph}")
+    print(f"vertex weights: total={weights.sum():.0f}, "
+          f"max={weights.max():.1f} (heavy-tailed)\n")
+
+    unweighted = xtrapulp(graph, P, nprocs=4)
+    weighted = xtrapulp(graph, P, nprocs=4, vertex_weights=weights)
+
+    rows = [
+        ("unweighted run", unweighted),
+        ("weighted run", weighted),
+    ]
+    print(f"{'configuration':<16} {'cut ratio':>9} {'count bal':>10} "
+          f"{'WEIGHT bal':>11}")
+    for name, res in rows:
+        q = res.quality()
+        wb = vertex_balance(graph, res.parts, P, weights=weights)
+        print(f"{name:<16} {q.cut_ratio:>9.3f} {q.vertex_balance:>10.3f} "
+              f"{wb:>11.3f}")
+
+    print("\nThe weighted run holds the weighted balance near the 1.10 "
+          "target;\nthe unweighted run balances *counts* and lets part "
+          "weights drift.")
+
+
+if __name__ == "__main__":
+    main()

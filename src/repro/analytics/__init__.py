@@ -1,0 +1,33 @@
+"""Distributed graph analytics (the paper's Fig. 8 workloads, from [29]).
+
+Six bulk-synchronous kernels run over a partitioned
+:class:`~repro.dist.distgraph.DistGraph`, where the *partition is the
+distribution* — the whole point of Fig. 8 is that a better partition cuts
+the analytics' communication volume and therefore end-to-end time:
+
+* HC — harmonic centrality of ``k`` sources (multi-BFS),
+* KC — approximate k-core decomposition (iterated h-index),
+* LP — label-propagation community detection,
+* PR — PageRank (power iteration),
+* SCC — largest strongly connected component (trim + FW-BW),
+* WCC — weakly connected components (min-label propagation).
+"""
+
+from repro.analytics.engine import AnalyticResult, run_analytic
+from repro.analytics.pagerank import pagerank
+from repro.analytics.wcc import weakly_connected_components
+from repro.analytics.scc import largest_scc
+from repro.analytics.kcore import kcore_decomposition
+from repro.analytics.labelprop import label_propagation_communities
+from repro.analytics.harmonic import harmonic_centrality
+
+__all__ = [
+    "AnalyticResult",
+    "run_analytic",
+    "pagerank",
+    "weakly_connected_components",
+    "largest_scc",
+    "kcore_decomposition",
+    "label_propagation_communities",
+    "harmonic_centrality",
+]

@@ -1,0 +1,35 @@
+"""Baseline partitioners the paper compares against.
+
+* :mod:`~repro.baselines.simple` — random, vertex-block, and edge-block
+  partitioning: "At the scale for which XTRAPULP is designed, the only
+  competing methods are random and block partitioning" (§V.B), and the
+  strategies of the Fig. 8 analytics comparison.
+* :mod:`~repro.baselines.pulp_shared` — PuLP: the shared-memory predecessor
+  (Slota et al. 2014), i.e. the same multi-constraint multi-objective label
+  propagation run as threads of one address space, without the
+  distributed-update throttle.
+* :mod:`~repro.baselines.multilevel` — a from-scratch multilevel partitioner
+  standing in for ParMETIS (matching-based coarsening, default quality) and
+  for KaHIP/Meyerhenke et al. 2015 (label-propagation coarsening + extra
+  refinement, ``quality="high"``).
+"""
+
+from repro.baselines.simple import (
+    edge_block_partition,
+    random_partition,
+    vertex_block_partition,
+)
+from repro.baselines.pulp_shared import pulp
+from repro.baselines.multilevel import (
+    MultilevelResourceError,
+    multilevel_partition,
+)
+
+__all__ = [
+    "random_partition",
+    "vertex_block_partition",
+    "edge_block_partition",
+    "pulp",
+    "multilevel_partition",
+    "MultilevelResourceError",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness: experiment runners and table/series reporting."""
+
+from repro.bench.reporting import ExperimentTable, format_table, save_table
+
+__all__ = ["ExperimentTable", "format_table", "save_table"]

@@ -1,0 +1,80 @@
+"""Shared experiment-running helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import PulpParams, xtrapulp
+from repro.core.driver import PartitionResult
+from repro.core.quality import PartitionQuality
+from repro.graph.csr import Graph
+from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel
+from repro.suite import SUITE
+
+
+@dataclass
+class PartitionRun:
+    """One partitioner invocation with everything the benches report."""
+
+    graph_name: str
+    partitioner: str
+    num_parts: int
+    nprocs: int
+    modeled_seconds: float
+    wall_seconds: float
+    quality: PartitionQuality
+    comm_bytes: int
+
+
+def run_xtrapulp(
+    graph: Graph,
+    graph_name: str,
+    num_parts: int,
+    nprocs: int,
+    *,
+    params: Optional[PulpParams] = None,
+    machine: MachineModel = BLUE_WATERS_LIKE,
+    single_objective: bool = False,
+    seed: int = 42,
+) -> PartitionRun:
+    """Run XtraPuLP with the suite-recommended init for the graph family."""
+    if params is None:
+        init = (
+            SUITE[graph_name].recommended_init if graph_name in SUITE else "hybrid"
+        )
+        params = PulpParams(init_strategy=init, seed=seed)
+    if single_objective:
+        params = params.with_(single_objective=True)
+    res: PartitionResult = xtrapulp(
+        graph, num_parts, nprocs=nprocs, params=params, machine=machine
+    )
+    return PartitionRun(
+        graph_name=graph_name,
+        partitioner="XtraPuLP",
+        num_parts=num_parts,
+        nprocs=nprocs,
+        modeled_seconds=res.modeled_seconds,
+        wall_seconds=res.wall_seconds,
+        quality=res.quality(graph),
+        comm_bytes=res.stats.total_bytes,
+    )
+
+
+def speedup_series(times: Dict[int, float]) -> Dict[int, float]:
+    """Relative speedup vs. the smallest configuration."""
+    if not times:
+        return {}
+    base_key = min(times)
+    base = times[base_key]
+    return {k: base / v if v > 0 else float("inf") for k, v in times.items()}
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    values = np.asarray(values, dtype=np.float64)
+    values = values[values > 0]
+    if values.size == 0:
+        return 0.0
+    return float(np.exp(np.log(values).mean()))

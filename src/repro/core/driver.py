@@ -1,0 +1,205 @@
+"""Top-level XtraPuLP driver (Algorithm 1).
+
+``xtrapulp(graph, num_parts, nprocs=...)`` runs the full pipeline inside a
+simulated-MPI SPMD program:
+
+1. distribute the graph (random or block 1-D distribution, §III.A);
+2. initialize (Algorithm 2 hybrid by default);
+3. ``I_outer`` rounds of vertex balancing + refinement (Algorithms 4, 5);
+4. ``I_outer`` rounds of edge balancing + refinement (§III.E) —
+   skipped in single-objective mode (the Fig. 6 configuration);
+5. gather the partition to a global array.
+
+The result carries the partition, per-phase communication stats, and the
+modeled parallel time (see :mod:`repro.simmpi.timing`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.edge_balance import edge_balance_phase, edge_refine_phase
+from repro.core.initialization import initialize
+from repro.core.params import PulpParams
+from repro.core.quality import PartitionQuality, partition_quality
+from repro.core.refinement import vertex_refine_phase
+from repro.core.state import RankState
+from repro.core.vertex_balance import vertex_balance_phase
+from repro.dist.build import build_dist_graph
+from repro.dist.distribution import Distribution, make_distribution
+from repro.graph.csr import Graph
+from repro.simmpi.comm import SimComm
+from repro.simmpi.metrics import CommStats
+from repro.simmpi.runtime import Runtime
+from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel, TimeModel
+
+#: Phase tags that count toward partitioning time (build/gather excluded,
+#: matching the paper's timed region).
+PARTITION_PHASES = (
+    "init",
+    "vertex_balance",
+    "vertex_refine",
+    "edge_balance",
+    "edge_refine",
+)
+
+
+@dataclass
+class PartitionResult:
+    """Output of one :func:`xtrapulp` run."""
+
+    parts: np.ndarray
+    num_parts: int
+    nprocs: int
+    params: PulpParams
+    stats: CommStats
+    wall_seconds: float
+    machine: MachineModel = BLUE_WATERS_LIKE
+    _graph: Optional[Graph] = field(default=None, repr=False)
+
+    @property
+    def modeled_seconds(self) -> float:
+        """Modeled parallel partitioning time (build/gather excluded)."""
+        model = TimeModel(self.machine)
+        return model.total_time(self.stats.filtered(PARTITION_PHASES))
+
+    def modeled_seconds_by_phase(self) -> Dict[str, float]:
+        model = TimeModel(self.machine)
+        times = model.time_by_tag(self.stats)
+        return {k: times.get(k, 0.0) for k in PARTITION_PHASES}
+
+    def quality(self, graph: Optional[Graph] = None) -> PartitionQuality:
+        g = graph if graph is not None else self._graph
+        if g is None:
+            raise ValueError("pass the graph to quality() (not retained)")
+        return partition_quality(g, self.parts, self.num_parts)
+
+
+def _rank_main(
+    comm: SimComm,
+    graph: Graph,
+    dist: Distribution,
+    num_parts: int,
+    params: PulpParams,
+    initial_parts: Optional[np.ndarray] = None,
+    vertex_weights: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The SPMD body: returns (owned gids, owned parts) per rank."""
+    dg = build_dist_graph(comm, graph, dist)
+    state = RankState(dg=dg, num_parts=num_parts, params=params)
+    if vertex_weights is not None:
+        state.set_vertex_weights(
+            vertex_weights[dg.owned_gids], float(vertex_weights.sum())
+        )
+    initialize(comm, state, initial_parts)
+
+    state.iter_tot = 0
+    for _ in range(params.outer_iters):
+        vertex_balance_phase(comm, state, params.balance_iters)
+        vertex_refine_phase(comm, state, params.refine_iters)
+    if not params.single_objective:
+        state.iter_tot = 0
+        for _ in range(params.outer_iters):
+            edge_balance_phase(comm, state, params.balance_iters)
+            edge_refine_phase(comm, state, params.refine_iters)
+    return dg.owned_gids, state.parts[: dg.n_local].copy()
+
+
+def xtrapulp(
+    graph: Graph,
+    num_parts: int,
+    *,
+    nprocs: int = 4,
+    params: Optional[PulpParams] = None,
+    distribution: Union[str, Distribution] = "random",
+    machine: MachineModel = BLUE_WATERS_LIKE,
+    keep_graph: bool = True,
+    initial_parts: Optional[np.ndarray] = None,
+    vertex_weights: Optional[np.ndarray] = None,
+) -> PartitionResult:
+    """Partition ``graph`` into ``num_parts`` parts on ``nprocs`` simulated
+    MPI ranks.
+
+    Parameters
+    ----------
+    graph:
+        Undirected (symmetric CSR) graph.
+    num_parts:
+        Number of parts ``p`` (independent of ``nprocs``, as in the paper's
+        Blue Waters runs computing 256 parts on 2048 nodes).
+    nprocs:
+        Simulated MPI rank count.
+    params:
+        Algorithm tunables; defaults to the paper's settings.
+    distribution:
+        ``"random"`` (paper default for irregular graphs), ``"block"``, or a
+        pre-built :class:`~repro.dist.distribution.Distribution`.
+    machine:
+        Alpha-beta model used for modeled times in the result.
+    keep_graph:
+        Retain a graph reference on the result so ``result.quality()``
+        works without re-passing it.
+    initial_parts:
+        Optional existing assignment to *improve* instead of initializing
+        from scratch (the paper's §V.E workflow); overrides
+        ``params.init_strategy``.
+    vertex_weights:
+        Optional positive per-vertex weights: the vertex balance constraint
+        becomes per-part *weight* <= ``(1 + Rat_v) W(V) / p`` (the weighted
+        partitioning of the PuLP family; unit weights reproduce the paper's
+        setting exactly).
+    """
+    if graph.directed:
+        raise ValueError("xtrapulp partitions undirected (symmetric) graphs")
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if num_parts > graph.n:
+        raise ValueError(f"cannot cut {graph.n} vertices into {num_parts} parts")
+    if vertex_weights is not None:
+        vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+        if vertex_weights.shape != (graph.n,):
+            raise ValueError("vertex_weights must have one entry per vertex")
+        if vertex_weights.size and vertex_weights.min() <= 0:
+            raise ValueError("vertex_weights must be positive")
+    params = params or PulpParams()
+    if isinstance(distribution, str):
+        dist = make_distribution(
+            distribution, graph.n, nprocs, seed=params.seed
+        )
+    else:
+        dist = distribution
+        if dist.n != graph.n or dist.nprocs != nprocs:
+            raise ValueError("distribution does not match graph/nprocs")
+
+    # all phases charge deterministic work units (priced by the machine
+    # model's gamma), so modeled times are exactly reproducible
+    runtime = Runtime(nprocs, meter_compute=False)
+    t0 = time.perf_counter()
+    per_rank = runtime.run(
+        _rank_main, graph, dist, num_parts, params, initial_parts,
+        vertex_weights,
+    )
+    wall = time.perf_counter() - t0
+
+    parts = np.empty(graph.n, dtype=np.int64)
+    seen = 0
+    for gids, owned_parts in per_rank:
+        parts[gids] = owned_parts
+        seen += gids.size
+    if seen != graph.n:
+        raise AssertionError(f"gathered {seen} of {graph.n} vertex labels")
+
+    return PartitionResult(
+        parts=parts,
+        num_parts=num_parts,
+        nprocs=nprocs,
+        params=params,
+        stats=runtime.stats,
+        wall_seconds=wall,
+        machine=machine,
+        _graph=graph if keep_graph else None,
+    )

@@ -1,0 +1,254 @@
+"""XtraPuLP initialization (Algorithm 2) plus random/block alternatives.
+
+The hybrid strategy grows parts outward from ``p`` random roots: each BSP
+round, every still-unassigned vertex that has at least one assigned
+neighbor adopts a *uniformly random part among the distinct parts present
+in its neighborhood* (the paper deliberately randomizes instead of taking
+the maximal-count label — "doing so tends to result in slightly more
+balanced partitions").  Vertices never reached (disconnected from all
+roots) are assigned random parts at the end.
+
+The paper notes the number of rounds is on the order of the graph
+diameter, and that for high-diameter graph classes random or block
+initialization should be used instead — both provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exchange import exchange_updates
+from repro.core.state import UNASSIGNED, RankState
+from repro.graph.gather import neighbor_gather_with_sources
+from repro.simmpi.comm import SimComm
+
+
+def _random_distinct_neighbor_parts(
+    state: RankState, lids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """For each vertex in ``lids``, a uniformly random *distinct* part among
+    its assigned neighbors' parts (Algorithm 2's RandTrueIndex).
+
+    Returns (chosen_parts, has_assigned_neighbor_mask).
+    """
+    p = state.num_parts
+    neigh, srcs, _ = neighbor_gather_with_sources(
+        state.dg.offsets, state.dg.adj, lids
+    )
+    state.work_pending += 2.0 * neigh.size + float(lids.size)
+    nparts = state.parts[neigh]
+    ok = nparts >= 0
+    srcs, nparts = srcs[ok], nparts[ok]
+    chosen = np.full(lids.size, UNASSIGNED, dtype=np.int64)
+    has = np.zeros(lids.size, dtype=bool)
+    if srcs.size == 0:
+        return chosen, has
+    # dedupe (vertex, part) pairs so each distinct part is equally likely
+    keys = np.unique(srcs * np.int64(p) + nparts)
+    verts = keys // p
+    parts = keys % p
+    # group boundaries per vertex in the deduped list
+    counts = np.bincount(verts, minlength=lids.size)
+    starts = np.zeros(lids.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    has = counts > 0
+    pick = starts[has] + (
+        state.rng.random(int(has.sum())) * counts[has]
+    ).astype(np.int64)
+    chosen[has] = parts[pick]
+    return chosen, has
+
+
+def initialize_hybrid(comm: SimComm, state: RankState) -> None:
+    """Algorithm 2: root broadcast + random-label BFS growth."""
+    dg, p = state.dg, state.num_parts
+    if p > dg.global_n:
+        raise ValueError(f"cannot cut {dg.global_n} vertices into {p} parts")
+    # Master draws p unique roots and broadcasts.  Roots are drawn among
+    # *connected* (degree >= 1) vertices when possible: a root that is an
+    # isolated vertex can never grow its part through label propagation
+    # (minor robustness deviation from Algorithm 2's uniform draw; identical
+    # on component-preprocessed inputs like the paper's).
+    candidates = np.flatnonzero(dg.degrees_full[: dg.n_local] > 0).astype(np.int64)
+    sample_rng = np.random.default_rng(state.params.seed + 31 * comm.rank)
+    take = min(candidates.size, 4 * p)
+    sample = dg.l2g[
+        sample_rng.choice(candidates, size=take, replace=False)
+    ] if take else np.empty(0, dtype=np.int64)
+    pool, _ = comm.Allgatherv(sample)  # O(p * nprocs) gids, not O(n)
+    if comm.rank == 0:
+        rng_root = np.random.default_rng(state.params.seed)
+        if pool.size < p:
+            pool = np.arange(dg.global_n, dtype=np.int64)
+        roots = rng_root.choice(pool, size=p, replace=False).astype(np.int64)
+    else:
+        roots = None
+    roots = comm.Bcast(roots if comm.rank == 0 else np.empty(p, dtype=np.int64))
+    state.parts[:] = UNASSIGNED
+    # claim owned roots: part = order of selection
+    owner = dg.dist.owner(roots)
+    mine = np.flatnonzero(owner == comm.rank)
+    updates: list[np.ndarray] = []
+    if mine.size:
+        lids = dg.owned_lids(roots[mine])
+        state.parts[lids] = mine
+        updates.append(lids)
+    exchange_updates(
+        comm, dg, state.parts,
+        np.concatenate(updates) if updates else np.empty(0, dtype=np.int64),
+    )
+
+    max_rounds = state.params.max_init_rounds
+    if max_rounds is None:
+        max_rounds = max(2 * dg.global_n, 64)  # diameter is a trivial upper bound
+    for _ in range(max_rounds):
+        unassigned = np.flatnonzero(state.parts[: dg.n_local] < 0).astype(np.int64)
+        assigned_now = np.empty(0, dtype=np.int64)
+        if unassigned.size:
+            chosen, has = _random_distinct_neighbor_parts(state, unassigned)
+            assigned_now = unassigned[has]
+            state.parts[assigned_now] = chosen[has]
+        state.flush_work(comm)
+        n_updates = comm.allreduce(int(assigned_now.size), op="sum")
+        exchange_updates(comm, dg, state.parts, assigned_now)
+        if n_updates == 0:
+            break
+
+    # leftovers (unreached components): random parts
+    leftover = np.flatnonzero(state.parts[: dg.n_local] < 0).astype(np.int64)
+    if leftover.size:
+        state.parts[leftover] = state.rng.integers(
+            0, p, size=leftover.size, dtype=np.int64
+        )
+    # all ranks must join this exchange even with no leftovers
+    exchange_updates(comm, dg, state.parts, leftover)
+
+
+def initialize_random(comm: SimComm, state: RankState) -> None:
+    """Uniform random part per owned vertex (high-diameter fallback)."""
+    dg, p = state.dg, state.num_parts
+    lids = np.arange(dg.n_local, dtype=np.int64)
+    state.parts[:] = UNASSIGNED
+    state.parts[lids] = state.rng.integers(0, p, size=dg.n_local, dtype=np.int64)
+    exchange_updates(comm, dg, state.parts, lids)
+
+
+def initialize_block(comm: SimComm, state: RankState) -> None:
+    """Contiguous global-id blocks → parts (vertex-block partitioning).
+
+    The paper uses this as the analytics-experiment starting point
+    ("first initializing with vertex block partitioning", §V.E).
+    """
+    dg, p = state.dg, state.num_parts
+    lids = np.arange(dg.n_local, dtype=np.int64)
+    gids = dg.owned_gids
+    base, extra = divmod(dg.global_n, p)
+    # part k owns [k*base + min(k, extra) + ..., ...); invert by search
+    bounds = np.arange(1, p + 1, dtype=np.int64) * base + np.minimum(
+        np.arange(1, p + 1), extra
+    )
+    state.parts[:] = UNASSIGNED
+    state.parts[lids] = np.searchsorted(bounds, gids, side="right")
+    exchange_updates(comm, dg, state.parts, lids)
+
+
+def reseed_dead_parts(comm: SimComm, state: RankState) -> int:
+    """Revive parts that have no connected members (collective).
+
+    Label propagation can only move a vertex into a part that already owns
+    one of its neighbors, so a part whose connected membership hits zero
+    (e.g. its Algorithm-2 root was strangled at birth) can never regain
+    edges.  Each dead part is reseeded with one high-degree vertex donated
+    by the most-populated parts; subsequent balance iterations grow a
+    region around the new seed.  Returns the number of parts reseeded.
+    A robustness extension over the paper (whose billion-vertex inputs
+    never see p parts collapse); no-op when every part is alive.
+    """
+    dg, p = state.dg, state.num_parts
+    deg = dg.degrees_full[: dg.n_local]
+    owned = state.parts[: dg.n_local]
+    conn = owned[(deg > 0) & (owned >= 0)]
+    alive = comm.Allreduce(
+        np.bincount(conn, minlength=p).astype(np.int64), op="sum"
+    )
+    dead = np.flatnonzero(alive == 0)
+    if dead.size == 0:
+        return 0
+    # each rank proposes its highest-degree vertices from the biggest parts
+    donors = np.argsort(alive)[::-1][: max(2, dead.size)]
+    donor_mask = np.isin(owned, donors) & (deg > 1)
+    cand = np.flatnonzero(donor_mask)
+    take = min(cand.size, 2 * dead.size)
+    if take:
+        top = cand[np.argsort(deg[cand])[::-1][:take]]
+        proposal = np.column_stack([dg.l2g[top], deg[top]]).ravel()
+    else:
+        proposal = np.empty(0, dtype=np.int64)
+    merged, _ = comm.Allgatherv(proposal.astype(np.int64))
+    gids, degs = merged[0::2], merged[1::2]
+    if gids.size == 0:
+        return 0
+    # deterministic global choice: highest degree first, gid tiebreak
+    order = np.lexsort((gids, -degs))
+    chosen = gids[order][: dead.size]
+    targets = dead[: chosen.size]
+    owner = dg.dist.owner(chosen)
+    mine = np.flatnonzero(owner == comm.rank)
+    moved = np.empty(0, dtype=np.int64)
+    if mine.size:
+        lids = dg.owned_lids(chosen[mine])
+        state.parts[lids] = targets[mine]
+        moved = lids
+    exchange_updates(comm, dg, state.parts, moved)
+    return int(targets.size)
+
+
+def initialize_from_parts(
+    comm: SimComm, state: RankState, initial_parts: np.ndarray
+) -> None:
+    """Adopt an existing global assignment as the starting point.
+
+    The paper's §V.E workflow: "run the balancing stage of XTRAPULP after
+    first initializing with vertex block partitioning" — i.e. XtraPuLP as
+    a partition *improver*.  ``initial_parts`` is a full global array
+    (identical on every rank, read-only).
+    """
+    dg, p = state.dg, state.num_parts
+    initial_parts = np.asarray(initial_parts)
+    if initial_parts.shape != (dg.global_n,):
+        raise ValueError(
+            f"initial_parts must cover all {dg.global_n} vertices"
+        )
+    if initial_parts.size and (
+        initial_parts.min() < 0 or initial_parts.max() >= p
+    ):
+        raise ValueError("initial part labels out of range")
+    lids = np.arange(dg.n_local, dtype=np.int64)
+    state.parts[:] = UNASSIGNED
+    state.parts[lids] = initial_parts[dg.owned_gids]
+    exchange_updates(comm, dg, state.parts, lids)
+
+
+def initialize(
+    comm: SimComm,
+    state: RankState,
+    initial_parts: "np.ndarray | None" = None,
+) -> None:
+    """Dispatch on ``params.init_strategy`` (or adopt ``initial_parts``)."""
+    with comm.phase("init"):
+        strategy = state.params.init_strategy
+        if initial_parts is not None:
+            initialize_from_parts(comm, state, initial_parts)
+        elif strategy == "hybrid":
+            initialize_hybrid(comm, state)
+        elif strategy == "random":
+            initialize_random(comm, state)
+        elif strategy == "block":
+            initialize_block(comm, state)
+        else:  # pragma: no cover - params validates
+            raise ValueError(strategy)
+        bad = int(np.count_nonzero(state.parts[: state.dg.n_local] < 0))
+        total_bad = comm.allreduce(bad, op="sum")
+        if total_bad:
+            raise AssertionError(f"{total_bad} vertices left unassigned by init")
+        reseed_dead_parts(comm, state)

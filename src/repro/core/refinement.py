@@ -1,0 +1,72 @@
+"""XtraPuLP vertex refinement phase (Algorithm 5).
+
+Constrained plurality label propagation (an FM-refinement variant): each
+vertex moves to the part holding most of its neighbors, provided the
+target's estimated size stays below ``Maxv`` — the imbalance target
+``Imb_v`` once the constraint is satisfied, otherwise the current worst
+part size.  ``Maxv`` is *ratcheted* (never allowed to grow across
+iterations of one refinement phase), so refinement can only maintain or
+improve the worst imbalance — the paper's "without increasing the size of
+any part greater than the current most imbalanced part", made robust
+against the BSP attractor creep that per-iteration recomputation allows.
+Per-part admissions obey the same multiplier-scaled capacity rule as the
+balance phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.capacity import enforce_weight_capacity
+from repro.core.exchange import exchange_updates
+from repro.core.state import RankState
+from repro.simmpi.comm import SimComm
+
+
+def vertex_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
+    """Run ``iters`` refinement iterations (Algorithm 5)."""
+    p = state.num_parts
+    dg = state.dg
+    imb_v = state.target_max_vertices
+    with comm.phase("vertex_refine"):
+        Sv = state.compute_vertex_sizes(comm).astype(np.float64)
+        maxv = max(float(Sv.max()), imb_v)
+        for _ in range(iters):
+            maxv = max(min(maxv, float(Sv.max())), imb_v)  # ratchet down only
+            mult = state.mult(comm)
+            Cv = np.zeros(p, dtype=np.float64)
+            moved_all = []
+            for lids, _sl in state.iter_blocks():
+                est = Sv + mult * Cv
+                vw = state.vweights[lids]
+                _, plain = state.block_part_counts(lids, degree_weighted=False)
+                scores = plain.astype(np.float64)
+                # part full for vertex v once est + w(v) would exceed Maxv
+                scores[(est[None, :] + vw[:, None]) > maxv] = 0.0
+                x = state.parts[lids]
+                w = np.argmax(scores, axis=1)
+                rows = np.arange(lids.size)
+                move = (w != x) & (scores[rows, w] > scores[rows, x])
+                cand = np.flatnonzero(move)
+                if cand.size:
+                    cap = (maxv - est) / max(mult, 1e-12)
+                    keep = enforce_weight_capacity(w[cand], vw[cand], cap)
+                    cand = cand[keep]
+                if cand.size:
+                    moved = lids[cand]
+                    old = x[cand]
+                    new = w[cand]
+                    state.parts[moved] = new
+                    mw = state.vweights[moved]
+                    Cv += np.bincount(new, weights=mw, minlength=p)
+                    Cv -= np.bincount(old, weights=mw, minlength=p)
+                    moved_all.append(moved)
+            updates = (
+                np.concatenate(moved_all) if moved_all
+                else np.empty(0, dtype=np.int64)
+            )
+            state.flush_work(comm)
+            exchange_updates(comm, dg, state.parts, updates)
+            Cv_global = comm.Allreduce(Cv, op="sum")
+            Sv += Cv_global
+            state.iter_tot += 1

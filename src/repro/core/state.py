@@ -1,0 +1,169 @@
+"""Per-rank partitioning state shared by all XtraPuLP phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.core.params import PulpParams
+from repro.dist.distgraph import DistGraph
+from repro.graph.gather import neighbor_gather_with_sources
+from repro.simmpi.comm import SimComm
+
+UNASSIGNED = np.int64(-1)
+
+
+@dataclass
+class RankState:
+    """One rank's partitioning state.
+
+    ``parts`` covers owned + ghost vertices (local-id indexed).  Global
+    per-part totals ``Sv``/``Se``/``Sc`` are kept consistent across ranks by
+    Allreduce at iteration boundaries; within an iteration each rank tracks
+    its local deltas ``Cv``/``Ce``/``Cc`` and *estimates* global sizes as
+    ``S + mult * C`` (the paper's distributed-update throttle, §III.C).
+    """
+
+    dg: DistGraph
+    num_parts: int
+    params: PulpParams
+    parts: np.ndarray = field(init=False)
+    iter_tot: int = 0
+    rng: np.random.Generator = field(init=False)
+    work_pending: float = 0.0
+    vweights: np.ndarray = field(init=False)
+    global_vweight: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.parts = np.full(self.dg.n_total, UNASSIGNED, dtype=np.int64)
+        self.rng = np.random.default_rng(self.params.seed + 7919 * self.dg.rank)
+        # unit vertex weights by default; see set_vertex_weights
+        self.vweights = np.ones(self.dg.n_local, dtype=np.float64)
+        self.global_vweight = float(self.dg.global_n)
+
+    def set_vertex_weights(self, weights: np.ndarray, total: float) -> None:
+        """Enable weighted vertex balancing: ``weights`` are this rank's
+        owned vertices' weights, ``total`` the global sum (the balance
+        target becomes ``(1 + Rat_v) * total / p``)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.dg.n_local,):
+            raise ValueError("weights must cover exactly the owned vertices")
+        if weights.size and weights.min() <= 0:
+            raise ValueError("vertex weights must be positive")
+        self.vweights = weights
+        self.global_vweight = float(total)
+
+    # -- targets -------------------------------------------------------------
+
+    @property
+    def target_max_vertices(self) -> float:
+        """``Imb_v = (1 + Rat_v) W(V) / p`` (eq. 1; weighted if weights set)."""
+        return (
+            (1.0 + self.params.vert_imbalance)
+            * self.global_vweight / self.num_parts
+        )
+
+    @property
+    def target_max_edges(self) -> float:
+        """``Imb_e``, degree-based (2m directed entries total)."""
+        total_deg = 2.0 * self.dg.global_m
+        return (1.0 + self.params.edge_imbalance) * total_deg / self.num_parts
+
+    def mult(self, comm: SimComm) -> float:
+        return self.params.mult(comm.size, self.iter_tot)
+
+    # -- global totals ---------------------------------------------------------
+
+    def flush_work(self, comm: SimComm) -> None:
+        """Charge accumulated sweep work to the next collective."""
+        if self.work_pending:
+            comm.charge(self.work_pending)
+            self.work_pending = 0.0
+
+    def compute_vertex_sizes(self, comm: SimComm) -> np.ndarray:
+        """Global per-part vertex weight ``Sv`` (Allreduce of local sums;
+        plain counts when weights are the default units)."""
+        comm.charge(self.dg.n_local)
+        owned = self.parts[: self.dg.n_local]
+        ok = owned >= 0
+        local = np.bincount(
+            owned[ok], weights=self.vweights[ok], minlength=self.num_parts
+        )
+        return comm.Allreduce(local, op="sum")
+
+    def compute_edge_sizes(self, comm: SimComm) -> np.ndarray:
+        """Global per-part edge sizes ``Se`` = sum of member degrees."""
+        comm.charge(self.dg.n_local)
+        owned = self.parts[: self.dg.n_local]
+        deg = self.dg.local_degrees
+        ok = owned >= 0
+        local = np.bincount(
+            owned[ok], weights=deg[ok].astype(np.float64),
+            minlength=self.num_parts,
+        ).astype(np.int64)
+        return comm.Allreduce(local, op="sum")
+
+    def compute_cut_sizes(self, comm: SimComm) -> np.ndarray:
+        """Global per-part cut sizes ``Sc``: cut edges touching each part.
+
+        Counting from the owned endpoint of every stored arc credits each
+        undirected cut edge once to each of its two endpoint parts.
+        """
+        n_local = self.dg.n_local
+        comm.charge(self.dg.adj.size)
+        local = np.zeros(self.num_parts, dtype=np.int64)
+        for lids, _ in self.iter_blocks():
+            neigh, srcs, _ = neighbor_gather_with_sources(
+                self.dg.offsets, self.dg.adj, lids
+            )
+            p_src = self.parts[lids][srcs]
+            p_dst = self.parts[neigh]
+            cut = p_src != p_dst
+            local += np.bincount(p_src[cut], minlength=self.num_parts)
+        _ = n_local
+        return comm.Allreduce(local, op="sum")
+
+    # -- block iteration -----------------------------------------------------
+
+    def iter_blocks(self) -> Iterator[Tuple[np.ndarray, slice]]:
+        """Yield (owned lid block, slice) chunks of ``params.block_size``."""
+        n = self.dg.n_local
+        bs = self.params.block_size
+        for start in range(0, n, bs):
+            stop = min(start + bs, n)
+            yield np.arange(start, stop, dtype=np.int64), slice(start, stop)
+
+    # -- neighbor-part score matrices -------------------------------------------
+
+    def block_part_counts(
+        self, lids: np.ndarray, *, degree_weighted: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-vertex, per-part neighbor tallies for a block.
+
+        Returns ``(weighted, plain)``: ``weighted[i, k]`` sums
+        ``degree(u)`` (or 1) over neighbors ``u`` of ``lids[i]`` in part k;
+        ``plain`` is always the unweighted tally (needed for cut deltas).
+        Neighbors still UNASSIGNED are ignored.
+        """
+        p = self.num_parts
+        nb = lids.size
+        neigh, srcs, _ = neighbor_gather_with_sources(
+            self.dg.offsets, self.dg.adj, lids
+        )
+        nparts = self.parts[neigh]
+        ok = nparts >= 0
+        if not np.all(ok):
+            neigh, srcs, nparts = neigh[ok], srcs[ok], nparts[ok]
+        key = srcs * p + nparts
+        # sweep cost: gather + tally passes over the block's edges, plus the
+        # per-part weight/cap vector work
+        self.work_pending += 2.0 * neigh.size + float(nb) + float(p)
+        plain = np.bincount(key, minlength=nb * p).reshape(nb, p)
+        if degree_weighted:
+            w = self.dg.degrees_full[neigh].astype(np.float64)
+            weighted = np.bincount(key, weights=w, minlength=nb * p).reshape(nb, p)
+        else:
+            weighted = plain.astype(np.float64)
+        return weighted, plain

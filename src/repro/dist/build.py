@@ -1,0 +1,134 @@
+"""Construct a :class:`~repro.dist.distgraph.DistGraph` inside an SPMD run.
+
+Each rank slices its owned vertices' adjacency from the input graph,
+discovers the ghost layer, converts global ids to local ids, and
+precomputes the per-vertex neighbor-rank lists used by the paper's
+``ExchangeUpdates`` (Algorithm 3 recomputes ``toSend`` from the edges each
+exchange; precomputing at build time sends the identical messages).
+
+The input :class:`~repro.graph.csr.Graph` is shared read-only across rank
+threads — this models the load phase (in the paper each rank reads its
+slice from parallel I/O) and is excluded from partitioning-time metering
+via the ``"build"`` phase tag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.distgraph import DistGraph
+from repro.dist.distribution import Distribution
+from repro.graph.csr import Graph
+from repro.graph.gather import neighbor_gather
+from repro.simmpi.comm import SimComm
+
+
+def _localize(
+    dist: Distribution,
+    rank: int,
+    owned_gids: np.ndarray,
+    neighbor_gids: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map neighbor gids → local ids; returns (local_adj, ghost_gids, owners)."""
+    owner_of = dist.owner(neighbor_gids) if neighbor_gids.size else np.empty(
+        0, dtype=np.int32
+    )
+    mine = owner_of == rank
+    local_adj = np.empty(neighbor_gids.size, dtype=np.int64)
+    if np.any(mine):
+        local_adj[mine] = dist.lid(rank, neighbor_gids[mine])
+    other = ~mine
+    ghost_gids = np.unique(neighbor_gids[other]) if np.any(other) else np.empty(
+        0, dtype=np.int64
+    )
+    if np.any(other):
+        local_adj[other] = (
+            np.searchsorted(ghost_gids, neighbor_gids[other]) + owned_gids.size
+        )
+    ghost_owners = (
+        dist.owner(ghost_gids).astype(np.int32)
+        if ghost_gids.size
+        else np.empty(0, dtype=np.int32)
+    )
+    return local_adj, ghost_gids, ghost_owners
+
+
+def _send_rank_lists(
+    nprocs: int,
+    rank: int,
+    offsets: np.ndarray,
+    local_adj: np.ndarray,
+    n_local: int,
+    ghost_owners: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per owned vertex, the sorted unique off-rank owners of its neighbors."""
+    degrees = np.diff(offsets)
+    src = np.repeat(np.arange(n_local, dtype=np.int64), degrees)
+    is_ghost = local_adj >= n_local
+    src_g = src[is_ghost]
+    owners_g = ghost_owners[local_adj[is_ghost] - n_local].astype(np.int64)
+    if src_g.size == 0:
+        return np.zeros(n_local + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    key = np.unique(src_g * np.int64(nprocs) + owners_g)
+    verts = key // nprocs
+    ranks = key % nprocs
+    sr_offsets = np.zeros(n_local + 1, dtype=np.int64)
+    np.cumsum(np.bincount(verts, minlength=n_local), out=sr_offsets[1:])
+    return sr_offsets, ranks
+
+
+def build_dist_graph(
+    comm: SimComm, graph: Graph, dist: Distribution
+) -> DistGraph:
+    """SPMD: build this rank's local view of ``graph`` under ``dist``.
+
+    Must be called collectively (all ranks).  ``graph`` must be undirected
+    (symmetric CSR) so that owning a vertex implies owning all its incident
+    edges, the invariant the partitioner's bookkeeping relies on.
+    """
+    if dist.n != graph.n:
+        raise ValueError(
+            f"distribution covers {dist.n} vertices, graph has {graph.n}"
+        )
+    if dist.nprocs != comm.size:
+        raise ValueError(
+            f"distribution built for {dist.nprocs} ranks, comm has {comm.size}"
+        )
+    with comm.phase("build"):
+        rank = comm.rank
+        owned_gids = dist.owned(rank)
+        neighbor_gids, counts = neighbor_gather(
+            graph.offsets, graph.adj, owned_gids
+        )
+        offsets = np.zeros(owned_gids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        local_adj, ghost_gids, ghost_owners = _localize(
+            dist, rank, owned_gids, neighbor_gids
+        )
+        l2g = np.concatenate([owned_gids, ghost_gids])
+        # ghost degrees read from the shared input (static data; a real MPI
+        # build exchanges them once — volume negligible and one-time)
+        degrees_full = graph.degrees[l2g].astype(np.int64)
+        sr_offsets, sr_adj = _send_rank_lists(
+            comm.size, rank, offsets, local_adj, owned_gids.size, ghost_owners
+        )
+        # sanity rendezvous: global edge count must be conserved
+        total_local = comm.allreduce(int(local_adj.size), op="sum")
+        if total_local != graph.num_directed_edges:
+            raise AssertionError(
+                f"edge conservation violated: {total_local} != "
+                f"{graph.num_directed_edges}"
+            )
+        return DistGraph(
+            dist=dist,
+            rank=rank,
+            offsets=offsets,
+            adj=local_adj,
+            l2g=l2g,
+            ghost_owners=ghost_owners,
+            degrees_full=degrees_full,
+            send_rank_offsets=sr_offsets,
+            send_rank_adj=sr_adj,
+            global_n=graph.n,
+            global_m=graph.num_edges,
+        )

@@ -1,0 +1,124 @@
+"""Graph I/O: edge-list text, METIS format, and NumPy binary round-trips."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.graph.builders import from_edges
+from repro.graph.csr import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_edge_list(graph: Graph, path: PathLike, *, header: bool = True) -> None:
+    """Write one ``u v`` line per undirected edge (or arc, if directed)."""
+    src, dst = graph.unique_edges()
+    with open(path, "w") as f:
+        if header:
+            kind = "directed" if graph.directed else "undirected"
+            f.write(f"# repro edge list: n={graph.n} m={len(src)} {kind}\n")
+        np.savetxt(f, np.column_stack([src, dst]), fmt="%d")
+
+
+def read_edge_list(
+    path: PathLike, *, n: int | None = None, directed: bool = False
+) -> Graph:
+    """Read a whitespace edge list (``#`` comments ignored).
+
+    ``n`` defaults to the count recorded in a ``write_edge_list`` header if
+    present, else ``max endpoint + 1`` (which silently drops trailing
+    isolated vertices — pass ``n`` for graphs that may have them).
+    """
+    if n is None:
+        with open(path) as f:
+            first = f.readline()
+        if first.startswith("#"):
+            for token in first.split():
+                if token.startswith("n="):
+                    n = int(token[2:])
+                    break
+    data = np.loadtxt(path, comments="#", dtype=np.int64, ndmin=2)
+    if data.size == 0:
+        src = dst = np.empty(0, dtype=np.int64)
+    else:
+        src, dst = data[:, 0], data[:, 1]
+    if n is None:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    return from_edges(n, src, dst, directed=directed)
+
+
+def write_metis(graph: Graph, path: PathLike) -> None:
+    """Write the METIS/Chaco ascii format (1-indexed adjacency lists).
+
+    Only defined for undirected graphs without self-loops — the format the
+    paper's ParMETIS baseline consumes.
+    """
+    if graph.directed:
+        raise ValueError("METIS format requires an undirected graph")
+    if graph.has_self_loops():
+        raise ValueError("METIS format forbids self-loops")
+    with open(path, "w") as f:
+        f.write(f"{graph.n} {graph.num_edges}\n")
+        for v in range(graph.n):
+            neigh = graph.neighbors(v) + 1
+            f.write(" ".join(map(str, neigh.tolist())) + "\n")
+
+
+def read_metis(path: PathLike) -> Graph:
+    """Read a METIS/Chaco ascii graph (plain, unweighted flavor)."""
+    with open(path) as f:
+        lines = [ln for ln in (raw.rstrip("\n") for raw in f)
+                 if not ln.lstrip().startswith("%")]
+    if not lines or not lines[0].strip():
+        raise ValueError("empty METIS file")
+    head = lines[0].split()
+    n, m = int(head[0]), int(head[1])
+    # isolated vertices appear as empty adjacency lines; trailing blanks
+    # beyond the declared n (or a missing final newline) are tolerated
+    while len(lines) - 1 > n and not lines[-1].strip():
+        lines.pop()
+    while len(lines) - 1 < n:
+        lines.append("")
+    if len(lines) - 1 != n:
+        raise ValueError(
+            f"METIS header says {n} vertices, file has {len(lines) - 1}"
+        )
+    srcs, dsts = [], []
+    for v, line in enumerate(lines[1:]):
+        if line.strip():
+            neigh = np.fromstring(line, dtype=np.int64, sep=" ") - 1
+            srcs.append(np.full(neigh.size, v, dtype=np.int64))
+            dsts.append(neigh)
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:
+        src = dst = np.empty(0, dtype=np.int64)
+    g = from_edges(n, src, dst)
+    if g.num_edges != m:
+        raise ValueError(
+            f"METIS header says {m} edges, adjacency lists give {g.num_edges}"
+        )
+    return g
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Binary save (compressed npz of the CSR arrays)."""
+    np.savez_compressed(
+        path,
+        offsets=graph.offsets,
+        adj=graph.adj,
+        directed=np.array(graph.directed),
+    )
+
+
+def load_npz(path: PathLike) -> Graph:
+    with np.load(path) as data:
+        return Graph(
+            data["offsets"].copy(),
+            data["adj"].copy(),
+            directed=bool(data["directed"]),
+        )

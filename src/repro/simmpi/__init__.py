@@ -1,0 +1,49 @@
+"""Simulated MPI substrate.
+
+The paper runs XtraPuLP as an MPI+OpenMP program on up to 8192 nodes of the
+NCSA Blue Waters machine.  This package provides the stand-in transport: a
+deterministic, in-process bulk-synchronous runtime in which each simulated
+MPI rank executes the *same per-rank code* a real MPI program would, and all
+inter-rank interaction goes through metered collective operations on NumPy
+buffers (``Bcast``, ``Alltoall``, ``Alltoallv``, ``Allreduce``, ...).
+
+Ranks run as native threads; collectives are rendezvous points.  Because the
+algorithms built on top are bulk-synchronous (all communication happens in
+collectives, ranks only mutate rank-local state in between), results are
+deterministic and independent of thread scheduling.
+
+Every byte that crosses a rank boundary is accounted by
+:class:`~repro.simmpi.metrics.CommStats`, and
+:class:`~repro.simmpi.timing.TimeModel` turns the per-superstep record of
+(max-rank compute time, collective payload sizes) into a modeled parallel
+execution time using an alpha-beta (latency/bandwidth) machine model.  The
+benchmark harness reports this modeled time alongside wall time; scaling
+*shapes* in the paper's figures are driven by per-rank work and message
+volume, both of which are measured exactly here.
+"""
+
+from repro.simmpi.comm import SimComm
+from repro.simmpi.errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    RemoteRankError,
+    SimMPIError,
+)
+from repro.simmpi.metrics import CommStats, CollectiveEvent
+from repro.simmpi.runtime import Runtime, run_spmd
+from repro.simmpi.timing import MachineModel, TimeModel, BLUE_WATERS_LIKE
+
+__all__ = [
+    "SimComm",
+    "Runtime",
+    "run_spmd",
+    "CommStats",
+    "CollectiveEvent",
+    "MachineModel",
+    "TimeModel",
+    "BLUE_WATERS_LIKE",
+    "SimMPIError",
+    "CollectiveMismatchError",
+    "DeadlockError",
+    "RemoteRankError",
+]

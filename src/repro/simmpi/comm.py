@@ -1,0 +1,393 @@
+"""Rank-side communicator API (the simulated ``MPI.COMM_WORLD``).
+
+Mirrors the mpi4py split between lowercase generic-object methods
+(``bcast``, ``allgather``, ``allreduce`` — pickled-object semantics, metered
+by pickled size) and uppercase NumPy-buffer methods (``Bcast``,
+``Alltoallv``, ``Allreduce``, ... — near-zero-copy, metered by ``nbytes``).
+All hot-path communication in the partitioner uses the buffer flavor, per
+the mpi4py guidance that buffer-provider objects are the fast path.
+
+Byte-accounting convention (see :mod:`repro.simmpi.metrics`): a rank's
+``bytes_sent`` for an event is the payload it injects once — exact for
+Alltoall(v) (self-directed slices excluded), and the standard pipelined/
+butterfly bandwidth proxy for rooted and all- collectives.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simmpi.runtime import Runtime
+
+_REDUCERS: dict[str, Callable[..., Any]] = {
+    "sum": np.add.reduce,
+    "max": np.maximum.reduce,
+    "min": np.minimum.reduce,
+    "prod": np.multiply.reduce,
+    "land": np.logical_and.reduce,
+    "lor": np.logical_or.reduce,
+}
+
+
+def _obj_nbytes(obj: Any) -> int:
+    """Metering size of a generic Python object (pickle length)."""
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # unpicklable oddity; charge a token amount
+
+
+class SimComm:
+    """Communicator handle passed to every rank function.
+
+    Not thread-safe within a rank (as with real MPI communicators, one
+    rank = one call stream).
+    """
+
+    def __init__(self, runtime: Runtime, rank: int) -> None:
+        self._runtime = runtime
+        self.rank = int(rank)
+        self.size = runtime.nprocs
+        self._tag = ""
+        self._work = 0.0
+        self._last_thread_time: float = (
+            time.thread_time() if runtime.meter_compute else 0.0
+        )
+
+    # -- deterministic work metering ----------------------------------------
+
+    def charge(self, units: float) -> None:
+        """Charge deterministic work (e.g. edges touched) to this rank's
+        current superstep.  Priced by the machine model's ``gamma``;
+        kernels that charge work should run with ``meter_compute=False`` so
+        modeled times are exactly reproducible."""
+        self._work += float(units)
+
+    # -- phase tagging -----------------------------------------------------
+
+    @contextmanager
+    def phase(self, tag: str) -> Iterator[None]:
+        """Label subsequent collectives with ``tag`` for per-phase metering."""
+        prev = self._tag
+        self._tag = tag
+        try:
+            yield
+        finally:
+            self._tag = prev
+
+    # -- internals -----------------------------------------------------------
+
+    def _compute_delta(self) -> float:
+        if not self._runtime.meter_compute:
+            return 0.0
+        now = time.thread_time()
+        delta = now - self._last_thread_time
+        return max(delta, 0.0)
+
+    def _mark_resume(self) -> None:
+        if self._runtime.meter_compute:
+            self._last_thread_time = time.thread_time()
+
+    def _collective(
+        self,
+        op: str,
+        contribution: Any,
+        nbytes_sent: int,
+        execute: Callable[[List[Any]], List[Any]],
+    ) -> Any:
+        delta = self._compute_delta()
+        work = self._work
+        self._work = 0.0
+        try:
+            return self._runtime.collective(
+                self.rank, op, self._tag, contribution, nbytes_sent, execute,
+                delta, work,
+            )
+        finally:
+            self._mark_resume()
+
+    # -- synchronization ------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._collective("barrier", None, 0, lambda c: [None] * len(c))
+
+    # -- generic-object collectives -------------------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast a picklable object from ``root`` to all ranks."""
+        mine = self.rank == root
+        nbytes = _obj_nbytes(obj) if mine else 0
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            value = contribs[root]
+            return [value] * len(contribs)
+
+        return self._collective("bcast", obj if mine else None, nbytes, execute)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one picklable object per rank onto every rank."""
+        nbytes = _obj_nbytes(obj)
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            gathered = list(contribs)
+            return [gathered] * len(contribs)
+
+        return self._collective("allgather", obj, nbytes, execute)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        nbytes = _obj_nbytes(obj) if self.rank != root else 0
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            out: List[Any] = [None] * len(contribs)
+            out[root] = list(contribs)
+            return out
+
+        return self._collective("gather", obj, nbytes, execute)
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter at root needs exactly {self.size} items"
+                )
+            nbytes = sum(_obj_nbytes(o) for i, o in enumerate(objs) if i != root)
+        else:
+            nbytes = 0
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            return list(contribs[root])
+
+        return self._collective(
+            "scatter", list(objs) if self.rank == root else None, nbytes, execute
+        )
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """All-reduce a scalar (or small object supporting the numpy ufunc)."""
+        reducer = _REDUCERS[op]
+        nbytes = _obj_nbytes(value)
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            result = reducer(np.asarray(contribs, dtype=object), axis=0)
+            # unbox numpy scalars back to Python for ergonomic comparisons
+            if isinstance(result, np.generic):
+                result = result.item()
+            return [result] * len(contribs)
+
+        return self._collective("allreduce", value, nbytes, execute)
+
+    # -- NumPy-buffer collectives ----------------------------------------------
+
+    def Bcast(self, array: np.ndarray, root: int = 0) -> np.ndarray:
+        """Broadcast a NumPy array from ``root``; returns the array on every
+        rank (the root's own array object is returned unchanged at root)."""
+        mine = self.rank == root
+        arr = np.ascontiguousarray(array) if mine else None
+        nbytes = arr.nbytes if mine else 0
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            value = contribs[root]
+            out = []
+            for r in range(len(contribs)):
+                out.append(value if r == root else value.copy())
+            return out
+
+        return self._collective("bcast", arr, nbytes, execute)
+
+    def Allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Element-wise all-reduce of equal-shape NumPy arrays."""
+        arr = np.ascontiguousarray(array)
+        reducer = _REDUCERS[op]
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            shapes = {c.shape for c in contribs}
+            if len(shapes) != 1:
+                raise ValueError(f"Allreduce shape mismatch across ranks: {shapes}")
+            total = reducer(np.stack(contribs), axis=0)
+            return [total if r == 0 else total.copy() for r in range(len(contribs))]
+
+        return self._collective("allreduce", arr, arr.nbytes, execute)
+
+    def Reduce(self, array: np.ndarray, op: str = "sum", root: int = 0) -> Optional[np.ndarray]:
+        arr = np.ascontiguousarray(array)
+        reducer = _REDUCERS[op]
+        nbytes = arr.nbytes if self.rank != root else 0
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            total = reducer(np.stack(contribs), axis=0)
+            out: List[Any] = [None] * len(contribs)
+            out[root] = total
+            return out
+
+        return self._collective("reduce", arr, nbytes, execute)
+
+    def Allgatherv(self, array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenate per-rank 1-D arrays onto every rank.
+
+        Returns ``(concatenated, counts)`` where ``counts[r]`` is rank ``r``'s
+        contribution length.
+        """
+        arr = np.ascontiguousarray(array)
+        if arr.ndim != 1:
+            raise ValueError("Allgatherv expects 1-D arrays")
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            counts = np.array([c.shape[0] for c in contribs], dtype=np.int64)
+            merged = np.concatenate(contribs) if counts.sum() else contribs[0][:0]
+            result = (merged, counts)
+            return [result if r == 0 else (merged.copy(), counts.copy())
+                    for r in range(len(contribs))]
+
+        return self._collective("allgatherv", arr, arr.nbytes, execute)
+
+    def Gatherv(self, array: np.ndarray, root: int = 0) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Concatenate per-rank 1-D arrays at ``root`` (None elsewhere)."""
+        arr = np.ascontiguousarray(array)
+        if arr.ndim != 1:
+            raise ValueError("Gatherv expects 1-D arrays")
+        nbytes = arr.nbytes if self.rank != root else 0
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            counts = np.array([c.shape[0] for c in contribs], dtype=np.int64)
+            merged = np.concatenate(contribs) if counts.sum() else contribs[0][:0]
+            out: List[Any] = [None] * len(contribs)
+            out[root] = (merged, counts)
+            return out
+
+        return self._collective("gatherv", arr, nbytes, execute)
+
+    def Scatterv(
+        self, array: Optional[np.ndarray], counts: Optional[np.ndarray], root: int = 0
+    ) -> np.ndarray:
+        """Split ``array`` (at root) into ``counts[r]``-length pieces."""
+        if self.rank == root:
+            if array is None or counts is None:
+                raise ValueError("Scatterv at root requires array and counts")
+            arr = np.ascontiguousarray(array)
+            cts = np.asarray(counts, dtype=np.int64)
+            if cts.sum() != arr.shape[0]:
+                raise ValueError("Scatterv counts do not sum to array length")
+            nbytes = int(arr.nbytes - (cts[root] * arr.itemsize))
+            payload = (arr, cts)
+        else:
+            nbytes = 0
+            payload = None
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            arr_, cts_ = contribs[root]
+            offsets = np.zeros(len(contribs) + 1, dtype=np.int64)
+            np.cumsum(cts_, out=offsets[1:])
+            return [
+                arr_[offsets[r]:offsets[r + 1]].copy() if r != root
+                else arr_[offsets[r]:offsets[r + 1]]
+                for r in range(len(contribs))
+            ]
+
+        return self._collective("scatterv", payload, nbytes, execute)
+
+    def Alltoall(self, array: np.ndarray) -> np.ndarray:
+        """Exchange one item (or fixed-size row) per rank pair.
+
+        ``array`` must have leading dimension ``size``; returns an array of
+        the same shape whose ``r``-th slot is what rank ``r`` sent to us.
+        """
+        arr = np.ascontiguousarray(array)
+        if arr.shape[0] != self.size:
+            raise ValueError(
+                f"Alltoall expects leading dim {self.size}, got {arr.shape}"
+            )
+        slot = arr.nbytes // self.size if self.size else 0
+        nbytes = arr.nbytes - slot  # exclude the self-directed slot
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            stacked = np.stack(contribs)  # [src, dst, ...]
+            return [np.ascontiguousarray(stacked[:, r]) for r in range(len(contribs))]
+
+        return self._collective("alltoall", arr, nbytes, execute)
+
+    def Alltoallv(
+        self, sendbuf: np.ndarray, sendcounts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Variable-count all-to-all of a 1-D buffer.
+
+        ``sendbuf`` holds the data destined for rank 0, then rank 1, etc.;
+        ``sendcounts[r]`` items go to rank ``r``.  Returns
+        ``(recvbuf, recvcounts)`` with the pieces ordered by source rank.
+
+        Mirrors Algorithm 3's two-step pattern: real MPI first Alltoalls the
+        counts, then Alltoallvs the payload; both rounds are metered here
+        (the count exchange via :meth:`Alltoall`, the payload as one
+        ``alltoallv`` event).
+        """
+        buf = np.ascontiguousarray(sendbuf)
+        cts = np.asarray(sendcounts, dtype=np.int64)
+        if buf.ndim != 1:
+            raise ValueError("Alltoallv expects a 1-D send buffer")
+        if cts.shape != (self.size,):
+            raise ValueError(
+                f"sendcounts must have shape ({self.size},), got {cts.shape}"
+            )
+        if cts.sum() != buf.shape[0]:
+            raise ValueError(
+                f"sendcounts sum {cts.sum()} != sendbuf length {buf.shape[0]}"
+            )
+        recvcounts = self.Alltoall(cts)
+        offrank = int(buf.nbytes - cts[self.rank] * buf.itemsize)
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            nprocs = len(contribs)
+            bufs = [c[0] for c in contribs]
+            counts = [c[1] for c in contribs]
+            dtypes = {b.dtype for b in bufs}
+            if len(dtypes) > 1:
+                raise ValueError(
+                    f"Alltoallv dtype mismatch across ranks: {dtypes}"
+                )
+            send_offsets = []
+            for c in counts:
+                off = np.zeros(nprocs + 1, dtype=np.int64)
+                np.cumsum(c, out=off[1:])
+                send_offsets.append(off)
+            results = []
+            for dst in range(nprocs):
+                pieces = [
+                    bufs[src][send_offsets[src][dst]:send_offsets[src][dst + 1]]
+                    for src in range(nprocs)
+                ]
+                rc = np.array([p.shape[0] for p in pieces], dtype=np.int64)
+                merged = (
+                    np.concatenate(pieces) if rc.sum() else bufs[dst][:0].copy()
+                )
+                results.append((merged, rc))
+            return results
+
+        recvbuf, rcounts = self._collective(
+            "alltoallv", (buf, cts), offrank, execute
+        )
+        # cross-check the pre-exchanged counts against the payload split
+        if not np.array_equal(rcounts, recvcounts):
+            raise AssertionError("Alltoallv internal count mismatch")
+        return recvbuf, rcounts
+
+    # -- scans -----------------------------------------------------------------
+
+    def exscan(self, value: Any, op: str = "sum") -> Any:
+        """Exclusive prefix reduction; rank 0 receives the identity (0)."""
+        reducer = _REDUCERS[op]
+        nbytes = _obj_nbytes(value)
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            out: List[Any] = []
+            for r in range(len(contribs)):
+                if r == 0:
+                    out.append(0)
+                else:
+                    red = reducer(np.asarray(contribs[:r], dtype=object), axis=0)
+                    out.append(red.item() if isinstance(red, np.generic) else red)
+            return out
+
+        return self._collective("exscan", value, nbytes, execute)

@@ -1,0 +1,32 @@
+"""Error types raised by the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class SimMPIError(RuntimeError):
+    """Base class for all simulated-MPI failures."""
+
+
+class CollectiveMismatchError(SimMPIError):
+    """Ranks disagreed on which collective to execute at a superstep.
+
+    Real MPI programs that call mismatched collectives deadlock or corrupt
+    data; the simulator turns the bug into an immediate, diagnosable error.
+    """
+
+
+class DeadlockError(SimMPIError):
+    """Some ranks entered a collective that other ranks will never reach.
+
+    Raised when at least one rank has returned (or died) while others are
+    still blocked in a rendezvous, which in a real MPI job would hang.
+    """
+
+
+class RemoteRankError(SimMPIError):
+    """An exception escaped from a *different* rank's code.
+
+    All surviving ranks blocked in collectives are released with this error
+    so the whole SPMD program shuts down; the originating exception is
+    re-raised to the caller of :meth:`repro.simmpi.runtime.Runtime.run`.
+    """

@@ -1,0 +1,155 @@
+"""Communication metering for the simulated MPI runtime.
+
+Every collective executed by :class:`repro.simmpi.runtime.Runtime` appends a
+:class:`CollectiveEvent` carrying, for each rank, the payload bytes it sent
+off-rank and the compute time it spent since the previous rendezvous.  The
+aggregate view (:class:`CommStats`) answers the questions the paper's
+evaluation asks: how much traffic did the partitioner generate, how many
+rounds, and what does an alpha-beta machine model say the parallel runtime
+would have been.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CollectiveEvent:
+    """One matched collective across all ranks.
+
+    Attributes
+    ----------
+    op:
+        Collective name (``"alltoallv"``, ``"allreduce"``, ...).
+    tag:
+        Optional user label of the algorithm phase that issued the call
+        (e.g. ``"exchange_updates"``) for per-phase breakdowns.
+    bytes_sent:
+        Per-rank off-rank payload in bytes (``shape == (nprocs,)``).
+        Self-directed portions of Alltoall(v) payloads are excluded — they
+        never cross a network link.
+    compute_seconds:
+        Per-rank CPU time spent between the previous rendezvous and this
+        one, measured with ``time.thread_time`` so that GIL waits and other
+        ranks' work are not charged to this rank.
+    work_units:
+        Per-rank *deterministic* work charged via
+        :meth:`repro.simmpi.comm.SimComm.charge` since the previous
+        rendezvous (e.g. edges touched).  Kernels that charge work run with
+        compute metering off, making their modeled times exactly
+        reproducible; the machine model prices a unit via ``gamma``.
+    """
+
+    op: str
+    tag: str
+    bytes_sent: np.ndarray
+    compute_seconds: np.ndarray
+    work_units: Optional[np.ndarray] = None
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_sent.sum())
+
+    @property
+    def max_bytes(self) -> int:
+        return int(self.bytes_sent.max()) if self.bytes_sent.size else 0
+
+    @property
+    def max_compute(self) -> float:
+        return float(self.compute_seconds.max()) if self.compute_seconds.size else 0.0
+
+    @property
+    def max_work(self) -> float:
+        if self.work_units is None or self.work_units.size == 0:
+            return 0.0
+        return float(self.work_units.max())
+
+
+@dataclass
+class CommStats:
+    """Aggregated communication statistics for one SPMD run."""
+
+    nprocs: int
+    events: List[CollectiveEvent] = field(default_factory=list)
+
+    def record(self, event: CollectiveEvent) -> None:
+        self.events.append(event)
+
+    # -- aggregate views ---------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """Number of collective rendezvous executed."""
+        return len(self.events)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total off-rank bytes across all ranks and rounds."""
+        return sum(e.total_bytes for e in self.events)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Sum over supersteps of the *max* per-rank compute time.
+
+        This is the compute term of a bulk-synchronous execution: each
+        superstep lasts as long as its slowest rank.
+        """
+        return float(sum(e.max_compute for e in self.events))
+
+    def bytes_by_op(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.op] = out.get(e.op, 0) + e.total_bytes
+        return out
+
+    def rounds_by_op(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.op] = out.get(e.op, 0) + 1
+        return out
+
+    def bytes_by_tag(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.tag] = out.get(e.tag, 0) + e.total_bytes
+        return out
+
+    def per_rank_bytes(self) -> np.ndarray:
+        """Total off-rank bytes sent by each rank (shape ``(nprocs,)``)."""
+        total = np.zeros(self.nprocs, dtype=np.int64)
+        for e in self.events:
+            total += e.bytes_sent
+        return total
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold another run's events into this record (e.g. across phases)."""
+        if other.nprocs != self.nprocs:
+            raise ValueError(
+                f"cannot merge stats for {other.nprocs} ranks into {self.nprocs}"
+            )
+        self.events.extend(other.events)
+
+    def filtered(self, tags: Sequence[str]) -> "CommStats":
+        """A view restricted to events whose tag is in ``tags``."""
+        sub = CommStats(self.nprocs)
+        wanted = set(tags)
+        sub.events = [e for e in self.events if e.tag in wanted]
+        return sub
+
+    def summary(self) -> str:
+        by_op = self.bytes_by_op()
+        lines = [
+            f"CommStats(nprocs={self.nprocs}, rounds={self.rounds}, "
+            f"total={self.total_bytes/2**20:.2f} MiB, "
+            f"compute={self.total_compute_seconds:.3f} s)"
+        ]
+        for op, nbytes in sorted(by_op.items()):
+            lines.append(
+                f"  {op:<12s} rounds={self.rounds_by_op()[op]:<6d} "
+                f"{nbytes/2**20:.3f} MiB"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Alpha-beta machine model: modeled parallel time from metered traffic.
+
+The paper reports wall-clock partitioning times on Blue Waters (Cray XE6,
+Gemini interconnect).  We cannot run on that machine; instead every
+experiment reports a *modeled* execution time assembled from quantities the
+simulator measures exactly:
+
+``T = sum over supersteps s of [ max_r compute(s, r)
+                                 + alpha * hops(op_s)
+                                 + beta  * max_r bytes(s, r) ]``
+
+* the compute term is bulk-synchronous: a superstep lasts as long as its
+  slowest rank (measured per-rank with ``thread_time``);
+* ``alpha`` is per-message latency; collectives pay ``ceil(log2 p)`` latency
+  hops (tree/butterfly algorithms) except Alltoall(v), which pays ``p - 1``
+  pairwise exchanges;
+* ``beta`` is inverse bandwidth applied to the busiest rank's payload.
+
+The default constants (:data:`BLUE_WATERS_LIKE`) are Gemini-flavored
+(~1.5 us latency, ~6 GB/s per-node injection).  Absolute numbers are not the
+point — the *shape* of the paper's scaling curves comes out of how compute
+and volume move with rank count, degree, and graph structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict
+
+from repro.simmpi.metrics import CollectiveEvent, CommStats
+
+#: Collectives whose latency cost scales with the full rank count (pairwise
+#: exchange pattern) rather than logarithmically (tree/butterfly).
+_PAIRWISE_OPS = frozenset({"alltoall", "alltoallv"})
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Alpha-beta cost constants for one machine flavor.
+
+    Attributes
+    ----------
+    alpha:
+        Per-hop message latency in seconds.
+    beta:
+        Seconds per byte of the busiest rank's payload (inverse of per-node
+        injection bandwidth).
+    compute_scale:
+        Multiplier applied to measured Python/NumPy compute seconds.  The
+        paper's partitioner is optimized C; calibrating the compute term with
+        a scale < 1 maps our measured time onto a C-like budget without
+        changing any relative comparison (all competitors are scaled alike).
+    gamma:
+        Seconds per deterministic work unit (one adjacency entry touched)
+        charged via :meth:`repro.simmpi.comm.SimComm.charge`.  Default
+        4 ns/edge ≈ a 250 M-edge/s/core traversal rate.
+    name:
+        Human-readable label used in reports.
+    """
+
+    alpha: float
+    beta: float
+    compute_scale: float = 1.0
+    gamma: float = 4.0e-9
+    name: str = "generic"
+
+    def collective_cost(self, event: CollectiveEvent, nprocs: int) -> float:
+        """Communication cost (seconds) of one matched collective."""
+        if nprocs <= 1:
+            return 0.0
+        if event.op in _PAIRWISE_OPS:
+            hops = nprocs - 1
+        else:
+            hops = max(1, ceil(log2(nprocs)))
+        return self.alpha * hops + self.beta * event.max_bytes
+
+
+#: Gemini-interconnect-flavored constants for the Blue Waters analog.
+#: One simulated rank = one 16-core XE6 node (the paper's configuration:
+#: "one MPI task per compute node ... OpenMP threads = shared-memory
+#: cores"), so the per-edge work rate is 16 threads x ~250 M edges/s.
+BLUE_WATERS_LIKE = MachineModel(
+    alpha=1.5e-6, beta=1.0 / 6.0e9, compute_scale=1.0,
+    gamma=4.0e-9 / 16.0, name="blue-waters-like",
+)
+
+#: A commodity-cluster flavor (Cluster-1 in the paper: 16 Sandy Bridge
+#: nodes, QDR-IB-era network ~1 GB/s effective, Epetra-grade ~2 ns/nnz).
+CLUSTER_LIKE = MachineModel(
+    alpha=2.5e-6, beta=1.0 / 1.0e9, compute_scale=1.0, gamma=2.0e-9,
+    name="cluster-like",
+)
+
+#: MPI ranks sharing one node (the paper's Fig. 6 "16-way parallelism"
+#: setting): shared-memory transport latency, one core per rank.
+SINGLE_NODE_MPI = MachineModel(
+    alpha=5.0e-7, beta=1.0 / 10.0e9, compute_scale=1.0, gamma=4.0e-9,
+    name="single-node-mpi",
+)
+
+
+@dataclass
+class TimeModel:
+    """Assembles a modeled parallel execution time from metered stats."""
+
+    machine: MachineModel = BLUE_WATERS_LIKE
+
+    def superstep_time(self, event: CollectiveEvent, nprocs: int) -> float:
+        return (
+            self.machine.compute_scale * event.max_compute
+            + self.machine.gamma * event.max_work
+            + self.machine.collective_cost(event, nprocs)
+        )
+
+    def total_time(self, stats: CommStats) -> float:
+        """Modeled wall time of the whole SPMD run (seconds)."""
+        return float(
+            sum(self.superstep_time(e, stats.nprocs) for e in stats.events)
+        )
+
+    def breakdown(self, stats: CommStats) -> Dict[str, float]:
+        """Compute vs. latency vs. bandwidth decomposition of total time."""
+        compute = latency = bandwidth = work = 0.0
+        p = stats.nprocs
+        for e in stats.events:
+            compute += self.machine.compute_scale * e.max_compute
+            work += self.machine.gamma * e.max_work
+            if p > 1:
+                hops = (p - 1) if e.op in _PAIRWISE_OPS else max(1, ceil(log2(p)))
+                latency += self.machine.alpha * hops
+                bandwidth += self.machine.beta * e.max_bytes
+        return {
+            "compute": compute,
+            "work": work,
+            "latency": latency,
+            "bandwidth": bandwidth,
+            "total": compute + work + latency + bandwidth,
+        }
+
+    def time_by_tag(self, stats: CommStats) -> Dict[str, float]:
+        """Modeled time attributed to each phase tag."""
+        out: Dict[str, float] = {}
+        for e in stats.events:
+            out[e.tag] = out.get(e.tag, 0.0) + self.superstep_time(e, stats.nprocs)
+        return out

@@ -1,0 +1,126 @@
+"""The reproduction's graph test suite (the Table I analog).
+
+The paper's inputs are multi-GB downloads (UF collection, SNAP, Koblenz,
+Web Data Commons) unavailable offline; every experiment here runs on
+scaled-down *class representatives* generated to match the structural
+signature that drives each paper result:
+
+=================  ==========================================  ================
+paper graphs       signature                                    representative
+=================  ==========================================  ================
+lj/orkut/
+friendster/
+twitter            skewed degrees, low diameter, no id          ``social``
+                   locality (random snapshot order)
+wikilinks/dbpedia  hyperlink graphs, similar profile            ``social``
+indochina…uk-2007,
+wdc12-*            communities + crawl-ordered ids: block       ``webcrawl``
+                   partitions cut little but balance terribly
+rmat_22..28        R-MAT, Graph500 parameters                   ``rmat``
+RandER             uniform random                               ``erdos_renyi``
+RandHD             1-D local random, high diameter              ``rand_hd``
+InternalMesh*,
+nlpkkt*            regular stencils, davg 13, high diameter     ``mesh3d``
+=================  ==========================================  ================
+
+Sizes are parameterized: ``scale="tiny"`` for unit tests, ``"small"`` for
+quick benches, ``"medium"`` for the headline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.graph import (
+    Graph,
+    erdos_renyi,
+    mesh3d,
+    rand_hd,
+    rmat,
+    social,
+    webcrawl,
+)
+
+#: Per-scale target vertex counts.
+SCALE_N = {"tiny": 1 << 10, "small": 1 << 13, "medium": 1 << 15, "large": 1 << 17}
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One suite graph: constructor plus metadata."""
+
+    name: str
+    family: str           # social | webcrawl | rmat | random | randhd | mesh
+    build: Callable[[int, int], Graph]   # (n, seed) -> Graph
+    paper_analog: str
+    recommended_init: str = "hybrid"     # xtrapulp init strategy
+
+
+def _mesh_dims(n: int) -> tuple[int, int, int]:
+    side = max(2, round(n ** (1.0 / 3.0)))
+    return side, side, side
+
+
+SUITE: Dict[str, SuiteEntry] = {
+    e.name: e
+    for e in [
+        SuiteEntry(
+            "social", "social",
+            lambda n, seed: social(n, 24, seed=seed),
+            "lj / orkut / twitter / friendster",
+        ),
+        SuiteEntry(
+            "webcrawl", "webcrawl",
+            lambda n, seed: webcrawl(n, 24, seed=seed),
+            "uk-2002 / uk-2007 / wdc12-*",
+        ),
+        SuiteEntry(
+            "rmat", "rmat",
+            lambda n, seed: rmat(max(1, (n - 1).bit_length()), 16, seed=seed),
+            "rmat_22 .. rmat_28",
+        ),
+        SuiteEntry(
+            "rander", "random",
+            lambda n, seed: erdos_renyi(n, 16, seed=seed),
+            "RandER",
+        ),
+        SuiteEntry(
+            "randhd", "randhd",
+            lambda n, seed: rand_hd(n, 16, seed=seed),
+            "RandHD",
+            recommended_init="block",
+        ),
+        SuiteEntry(
+            "mesh", "mesh",
+            lambda n, seed: mesh3d(*_mesh_dims(n)),
+            "nlpkkt160/200/240, InternalMesh1-4",
+            recommended_init="hybrid",
+        ),
+    ]
+}
+
+#: The six graphs used by the paper's Cluster-1 strong-scaling and quality
+#: figures (lj, orkut, friendster, wdc12-pay, rmat_24, nlpkkt240) — one per
+#: structural profile.
+REPRESENTATIVE_SIX: List[str] = [
+    "social", "webcrawl", "rmat", "rander", "randhd", "mesh",
+]
+
+
+def get_graph(
+    name: str, scale: str = "small", *, seed: Optional[int] = None
+) -> Graph:
+    """Build a suite graph at the given scale."""
+    if name not in SUITE:
+        raise KeyError(f"unknown suite graph {name!r}; have {sorted(SUITE)}")
+    if scale not in SCALE_N:
+        raise KeyError(f"unknown scale {scale!r}; have {sorted(SCALE_N)}")
+    entry = SUITE[name]
+    # stable per-name seed (str hash() is salted per process)
+    base_seed = 1000 + sum(ord(c) for c in name) if seed is None else seed
+    return entry.build(SCALE_N[scale], base_seed)
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITE)

@@ -1,0 +1,59 @@
+"""Property tests for the baseline partitioners."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    edge_block_partition,
+    random_partition,
+    vertex_block_partition,
+)
+from repro.baselines.multilevel import MultilevelResourceError, multilevel_partition
+from repro.core.quality import vertex_balance
+from repro.graph import from_edges
+
+
+@st.composite
+def graphs(draw, max_n=40, max_m=120):
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    m = draw(st.integers(min_value=n, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return from_edges(
+        n, rng.integers(0, n, size=m), rng.integers(0, n, size=m)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(min_value=1, max_value=6))
+def test_simple_partitioners_cover_and_range(g, p):
+    p = min(p, g.n)
+    for fn in (lambda: random_partition(g, p, seed=0),
+               lambda: vertex_block_partition(g, p),
+               lambda: edge_block_partition(g, p)):
+        parts = fn()
+        assert parts.shape == (g.n,)
+        assert parts.min() >= 0 and parts.max() < p
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(min_value=2, max_value=5))
+def test_vertex_block_always_near_perfectly_balanced(g, p):
+    p = min(p, g.n)
+    parts = vertex_block_partition(g, p)
+    counts = np.bincount(parts, minlength=p)
+    assert counts.max() - counts.min() <= 1
+    assert vertex_balance(g, parts, p) >= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(graphs(max_n=30, max_m=90), st.integers(min_value=2, max_value=4))
+def test_multilevel_valid_on_arbitrary_graphs(g, p):
+    p = min(p, g.n)
+    try:
+        r = multilevel_partition(g, p, seed=0)
+    except MultilevelResourceError:
+        return  # legitimate failure mode
+    assert r.parts.shape == (g.n,)
+    assert r.parts.min() >= 0 and r.parts.max() < p
+    assert np.bincount(r.parts, minlength=p).sum() == g.n

@@ -1,0 +1,99 @@
+"""Partition structural analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.core import xtrapulp
+from repro.core.analysis import (
+    analyze_partition,
+    boundary_sizes,
+    boundary_vertices,
+    ghost_counts,
+    part_adjacency,
+    part_connectivity,
+)
+from repro.graph import from_edges, mesh3d, ring, rmat
+
+
+def split_ring():
+    g = ring(8)
+    parts = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    return g, parts
+
+
+def test_boundary_vertices_ring():
+    g, parts = split_ring()
+    mask = boundary_vertices(g, parts)
+    np.testing.assert_array_equal(
+        mask, [True, False, False, True, True, False, False, True]
+    )
+    np.testing.assert_array_equal(boundary_sizes(g, parts, 2), [2, 2])
+
+
+def test_part_adjacency_ring():
+    g, parts = split_ring()
+    q = part_adjacency(g, parts, 2)
+    # 3 interior edges per part, 2 edges between them
+    np.testing.assert_array_equal(q, [[3, 2], [2, 3]])
+    # totals conserve edges
+    assert np.triu(q).sum() == g.num_edges
+
+
+def test_part_adjacency_conserves_edges():
+    g = rmat(9, 12, seed=1)
+    rng = np.random.default_rng(0)
+    parts = rng.integers(0, 5, g.n)
+    q = part_adjacency(g, parts, 5)
+    assert np.array_equal(q, q.T)
+    assert np.triu(q).sum() == g.num_edges
+
+
+def test_ghost_counts_ring():
+    g, parts = split_ring()
+    # each part needs both endpoints of the other part's boundary
+    np.testing.assert_array_equal(ghost_counts(g, parts, 2), [2, 2])
+
+
+def test_ghost_counts_no_cut():
+    g = from_edges(4, np.array([0, 2]), np.array([1, 3]))
+    parts = np.array([0, 0, 1, 1])
+    np.testing.assert_array_equal(ghost_counts(g, parts, 2), [0, 0])
+
+
+def test_part_connectivity():
+    g = ring(8)
+    contiguous = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    np.testing.assert_array_equal(part_connectivity(g, contiguous, 2), [1, 1])
+    fragmented = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+    np.testing.assert_array_equal(part_connectivity(g, fragmented, 2), [4, 4])
+
+
+def test_analyze_partition_report():
+    g = mesh3d(8, 8, 8)
+    res = xtrapulp(g, 4, nprocs=2)
+    report = analyze_partition(g, res.parts, 4)
+    assert 0 < report.boundary_fraction < 1
+    assert report.max_ghosts > 0
+    assert report.total_ghosts >= report.max_ghosts
+    assert 0 <= report.quotient_density <= 1
+    assert 0 <= report.contiguous_parts <= 4
+    text = report.formatted()
+    assert "boundary=" in text and "ghosts" in text
+
+
+def test_good_partition_fewer_ghosts_than_random():
+    from repro.baselines import random_partition
+
+    g = mesh3d(10, 10, 10)
+    res = xtrapulp(g, 8, nprocs=2)
+    good = ghost_counts(g, res.parts, 8).sum()
+    rand = ghost_counts(g, random_partition(g, 8, seed=0), 8).sum()
+    assert good < 0.5 * rand
+
+
+def test_mesh_partition_mostly_contiguous():
+    g = mesh3d(10, 10, 10)
+    res = xtrapulp(g, 4, nprocs=2)
+    report = analyze_partition(g, res.parts, 4)
+    # label propagation grows connected regions on meshes
+    assert report.contiguous_parts >= 3

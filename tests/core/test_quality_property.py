@@ -1,0 +1,73 @@
+"""Property tests tying the quality metrics together on arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quality import (
+    cut_edges_per_part,
+    edge_counts,
+    edge_cut,
+    interior_edge_counts,
+    vertex_counts,
+)
+from repro.core.analysis import ghost_counts, part_adjacency
+from repro.graph import from_edges
+
+
+@st.composite
+def partitioned_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=120))
+    p = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    g = from_edges(n, rng.integers(0, n, size=m), rng.integers(0, n, size=m))
+    parts = rng.integers(0, p, size=n)
+    return g, parts, p
+
+
+@settings(max_examples=80, deadline=None)
+@given(partitioned_graphs())
+def test_cut_plus_interior_equals_total(case):
+    g, parts, p = case
+    interior = interior_edge_counts(g, parts, p).sum()
+    cut = edge_cut(g, parts, p)
+    assert interior + cut == g.num_edges
+
+
+@settings(max_examples=80, deadline=None)
+@given(partitioned_graphs())
+def test_per_part_cut_sums_to_twice_cut(case):
+    g, parts, p = case
+    assert cut_edges_per_part(g, parts, p).sum() == 2 * edge_cut(g, parts, p)
+
+
+@settings(max_examples=80, deadline=None)
+@given(partitioned_graphs())
+def test_vertex_and_edge_count_conservation(case):
+    g, parts, p = case
+    assert vertex_counts(g, parts, p).sum() == g.n
+    assert edge_counts(g, parts, p).sum() == 2 * g.num_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitioned_graphs())
+def test_quotient_graph_consistent_with_metrics(case):
+    g, parts, p = case
+    q = part_adjacency(g, parts, p)
+    # diagonal = interior edges; off-diagonal total = cut
+    np.testing.assert_array_equal(np.diag(q), interior_edge_counts(g, parts, p))
+    assert np.triu(q, 1).sum() == edge_cut(g, parts, p)
+    # row sums relate to per-part incident cut
+    per_part_cut = q.sum(axis=0) - np.diag(q)
+    np.testing.assert_array_equal(per_part_cut, cut_edges_per_part(g, parts, p))
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitioned_graphs())
+def test_ghost_counts_bounded_by_cut(case):
+    g, parts, p = case
+    ghosts = ghost_counts(g, parts, p)
+    per_cut = cut_edges_per_part(g, parts, p)
+    # distinct remote endpoints can never exceed incident cut edges
+    assert np.all(ghosts <= per_cut)

@@ -1,0 +1,119 @@
+"""Distributed graph construction: ghosts, id maps, edge conservation."""
+
+import numpy as np
+import pytest
+
+from repro.dist import build_dist_graph, make_distribution
+from repro.graph import from_edges, rmat, ring
+from repro.simmpi import Runtime
+
+
+def build_all(graph, nprocs, kind="block", seed=0):
+    dist = make_distribution(kind, graph.n, nprocs, seed=seed)
+    rt = Runtime(nprocs)
+    return rt.run(lambda comm: build_dist_graph(comm, graph, dist)), dist
+
+
+@pytest.mark.parametrize("kind", ["block", "random"])
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_edge_conservation(kind, nprocs):
+    g = rmat(9, 12, seed=3)
+    dgs, _ = build_all(g, nprocs, kind)
+    assert sum(dg.num_local_edges for dg in dgs) == g.num_directed_edges
+    assert sum(dg.n_local for dg in dgs) == g.n
+
+
+def test_local_adjacency_matches_global():
+    g = rmat(8, 10, seed=5)
+    dgs, dist = build_all(g, 3, "random", seed=1)
+    for dg in dgs:
+        for lid in range(dg.n_local):
+            gid = dg.l2g[lid]
+            local_neigh = dg.neighbors(lid)
+            neigh_gids = np.sort(dg.l2g[local_neigh])
+            np.testing.assert_array_equal(neigh_gids, g.neighbors(gid))
+
+
+def test_ghosts_are_exactly_one_hop_remote():
+    g = rmat(8, 10, seed=5)
+    dgs, dist = build_all(g, 4, "block")
+    for dg in dgs:
+        ghosts = set(dg.ghost_gids.tolist())
+        expected = set()
+        for gid in dg.owned_gids:
+            for u in g.neighbors(gid):
+                if dist.owner(int(u)) != dg.rank:
+                    expected.add(int(u))
+        assert ghosts == expected
+        # ghost owners correct
+        for ggid, owner in zip(dg.ghost_gids, dg.ghost_owners):
+            assert dist.owner(int(ggid)) == owner
+            assert owner != dg.rank
+
+
+def test_ghost_degrees_are_global_degrees():
+    g = rmat(8, 10, seed=7)
+    dgs, _ = build_all(g, 3, "random", seed=2)
+    for dg in dgs:
+        np.testing.assert_array_equal(dg.degrees_full, g.degrees[dg.l2g])
+
+
+def test_send_rank_lists():
+    g = ring(12)
+    dgs, dist = build_all(g, 3, "block")
+    for dg in dgs:
+        for lid in range(dg.n_local):
+            gid = dg.l2g[lid]
+            expected = sorted(
+                {
+                    int(dist.owner(int(u)))
+                    for u in g.neighbors(gid)
+                    if dist.owner(int(u)) != dg.rank
+                }
+            )
+            np.testing.assert_array_equal(dg.neighbor_ranks(lid), expected)
+
+
+def test_boundary_mask():
+    g = ring(12)
+    dgs, _ = build_all(g, 3, "block")
+    for dg in dgs:
+        mask = dg.boundary_mask
+        # in a block-distributed ring only the two endpoints are boundary
+        assert mask.sum() == 2
+        assert mask[0] and mask[-1]
+
+
+def test_ghost_lids_lookup():
+    g = ring(8)
+    dgs, _ = build_all(g, 2, "block")
+    dg = dgs[0]
+    lids = dg.ghost_lids(dg.ghost_gids)
+    np.testing.assert_array_equal(
+        lids, np.arange(dg.n_ghost) + dg.n_local
+    )
+    with pytest.raises(ValueError):
+        dg.ghost_lids(dg.owned_gids[:1])
+
+
+def test_single_rank_has_no_ghosts():
+    g = rmat(8, 10, seed=1)
+    dgs, _ = build_all(g, 1)
+    assert dgs[0].n_ghost == 0
+    assert dgs[0].n_local == g.n
+
+
+def test_build_validates_inputs():
+    g = ring(8)
+    wrong_dist = make_distribution("block", 9, 2)
+    with pytest.raises(ValueError):
+        Runtime(2).run(lambda comm: build_dist_graph(comm, g, wrong_dist))
+    dist = make_distribution("block", 8, 3)
+    with pytest.raises(ValueError):
+        Runtime(2).run(lambda comm: build_dist_graph(comm, g, dist))
+
+
+def test_repr():
+    g = ring(8)
+    dgs, _ = build_all(g, 2, "block")
+    assert "rank=0/2" in repr(dgs[0])

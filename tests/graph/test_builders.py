@@ -1,0 +1,105 @@
+"""Builders: edges/scipy/networkx conversions, cleanup semantics."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.graph import from_edges, from_networkx, from_scipy, to_networkx, to_scipy
+from repro.graph.builders import relabel, symmetrize
+from repro.graph.generators import ring
+
+
+def test_dedup_and_self_loops_removed():
+    src = np.array([0, 0, 0, 1, 2])
+    dst = np.array([1, 1, 0, 2, 2])
+    g = from_edges(3, src, dst)
+    assert g.num_edges == 2  # (0,1) and (1,2); dup and loops dropped
+    assert not g.has_self_loops()
+
+
+def test_keep_self_loops_if_requested():
+    g = from_edges(2, np.array([0]), np.array([0]), drop_self_loops=False)
+    assert g.has_self_loops()
+
+
+def test_directed_no_symmetrize():
+    g = from_edges(3, np.array([0, 1]), np.array([1, 2]), directed=True)
+    assert g.directed
+    assert g.num_edges == 2
+    np.testing.assert_array_equal(g.neighbors(0), [1])
+    assert g.neighbors(1).tolist() == [2]
+    assert g.neighbors(2).size == 0
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        from_edges(2, np.array([0]), np.array([5]))
+    with pytest.raises(ValueError):
+        from_edges(2, np.array([-1]), np.array([0]))
+    with pytest.raises(ValueError):
+        from_edges(-1, np.array([]), np.array([]))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        from_edges(3, np.array([0, 1]), np.array([1]))
+
+
+def test_scipy_roundtrip():
+    g = ring(6)
+    m = to_scipy(g)
+    assert sparse.issparse(m)
+    assert (m != m.T).nnz == 0  # symmetric
+    g2 = from_scipy(m)
+    assert g == g2
+
+
+def test_from_scipy_requires_square():
+    with pytest.raises(ValueError):
+        from_scipy(sparse.csr_matrix(np.ones((2, 3))))
+
+
+def test_networkx_roundtrip():
+    import networkx as nx
+
+    g = ring(7)
+    nxg = to_networkx(g)
+    assert nx.is_connected(nxg)
+    g2 = from_networkx(nxg)
+    assert g == g2
+
+
+def test_networkx_directed():
+    import networkx as nx
+
+    d = nx.DiGraph([(0, 1), (1, 2)])
+    g = from_networkx(d)
+    assert g.directed
+    back = to_networkx(g)
+    assert set(back.edges()) == {(0, 1), (1, 2)}
+
+
+def test_symmetrize():
+    d = from_edges(3, np.array([0, 1]), np.array([1, 2]), directed=True)
+    u = symmetrize(d)
+    assert not u.directed
+    assert u.is_symmetric()
+    assert u.num_edges == 2
+    # idempotent on undirected inputs
+    assert symmetrize(u) is u
+
+
+def test_relabel_preserves_structure():
+    g = ring(5)
+    perm = np.array([4, 3, 2, 1, 0])
+    g2 = relabel(g, perm)
+    assert g2.num_edges == g.num_edges
+    np.testing.assert_array_equal(np.sort(g2.degrees), np.sort(g.degrees))
+
+
+def test_relabel_validates_permutation():
+    g = ring(4)
+    with pytest.raises(ValueError):
+        relabel(g, np.array([0, 0, 1, 2]))
+    with pytest.raises(ValueError):
+        relabel(g, np.array([0, 1]))

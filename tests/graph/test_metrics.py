@@ -1,0 +1,86 @@
+"""BFS, diameter, components, Table I stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_levels,
+    approximate_diameter,
+    connected_component_sizes,
+    degree_stats,
+    from_edges,
+    graph_stats_row,
+    path_graph,
+    ring,
+    star,
+)
+
+
+def test_bfs_levels_path():
+    g = path_graph(5)
+    np.testing.assert_array_equal(bfs_levels(g, 0), [0, 1, 2, 3, 4])
+    np.testing.assert_array_equal(bfs_levels(g, 2), [2, 1, 0, 1, 2])
+
+
+def test_bfs_levels_unreachable():
+    g = from_edges(4, np.array([0]), np.array([1]))
+    levels = bfs_levels(g, 0)
+    np.testing.assert_array_equal(levels, [0, 1, -1, -1])
+
+
+def test_bfs_validates_source():
+    with pytest.raises(ValueError):
+        bfs_levels(ring(4), 9)
+
+
+def test_bfs_matches_networkx():
+    import networkx as nx
+    from repro.graph import rmat
+    from repro.graph.builders import to_networkx
+
+    g = rmat(9, 12, seed=2)
+    nxg = to_networkx(g)
+    levels = bfs_levels(g, 0)
+    ref = nx.single_source_shortest_path_length(nxg, 0)
+    for v in range(g.n):
+        assert levels[v] == ref.get(v, -1)
+
+
+def test_approximate_diameter_exact_on_path():
+    g = path_graph(20)
+    assert approximate_diameter(g, sweeps=4, seed=0) == 19
+
+
+def test_approximate_diameter_ring():
+    g = ring(20)
+    assert approximate_diameter(g, sweeps=4, seed=0) == 10
+
+
+def test_approximate_diameter_empty():
+    g = from_edges(0, np.array([], dtype=int), np.array([], dtype=int))
+    assert approximate_diameter(g) == 0
+
+
+def test_connected_component_sizes():
+    # two components: triangle + edge, plus isolated vertex
+    g = from_edges(6, np.array([0, 1, 2, 3]), np.array([1, 2, 0, 4]))
+    sizes = connected_component_sizes(g)
+    np.testing.assert_array_equal(sizes, [3, 2, 1])
+
+
+def test_degree_stats():
+    g = star(5)
+    s = degree_stats(g)
+    assert s["max"] == 4
+    assert s["min"] == 1
+    assert s["avg"] == pytest.approx(8 / 5)
+
+
+def test_graph_stats_row():
+    g = ring(10)
+    row = graph_stats_row("ring10", g, diameter_sweeps=4)
+    assert row.n == 10 and row.m == 10
+    assert row.davg == pytest.approx(2.0)
+    assert row.dmax == 2
+    assert row.diameter == 5
+    assert "ring10" in row.formatted()

@@ -1,0 +1,83 @@
+"""Property-based CSR invariants for arbitrary edge lists."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import from_edges
+from repro.graph.builders import relabel
+
+
+@st.composite
+def edge_lists(draw, max_n=30, max_m=80):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m
+        )
+    )
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+@settings(max_examples=80, deadline=None)
+@given(edge_lists())
+def test_from_edges_invariants(case):
+    n, src, dst = case
+    g = from_edges(n, src, dst)
+    # offsets monotone, adjacency within range, sorted per row
+    assert g.offsets[0] == 0 and g.offsets[-1] == g.adj.size
+    assert np.all(np.diff(g.offsets) >= 0)
+    if g.adj.size:
+        assert g.adj.min() >= 0 and g.adj.max() < n
+    for v in range(n):
+        row = g.neighbors(v)
+        assert np.all(np.diff(row) > 0)  # strictly sorted = deduped
+        assert v not in row  # no self loops
+    # symmetric storage
+    assert g.is_symmetric()
+    # edge set equals the cleaned input edge set
+    mask = src != dst
+    expect = set()
+    for u, v in zip(src[mask], dst[mask]):
+        expect.add((min(u, v), max(u, v)))
+    got = set(zip(*map(lambda a: a.tolist(), g.unique_edges())))
+    assert got == expect
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists(), st.randoms(use_true_random=False))
+def test_relabel_is_isomorphism(case, rnd):
+    n, src, dst = case
+    g = from_edges(n, src, dst)
+    perm = np.array(rnd.sample(range(n), n), dtype=np.int64)
+    g2 = relabel(g, perm)
+    assert g2.num_edges == g.num_edges
+    np.testing.assert_array_equal(np.sort(g2.degrees), np.sort(g.degrees))
+    # edge (u, v) in g iff (perm[u], perm[v]) in g2
+    src1, dst1 = g.unique_edges()
+    e1 = {(min(perm[u], perm[v]), max(perm[u], perm[v]))
+          for u, v in zip(src1, dst1)}
+    src2, dst2 = g2.unique_edges()
+    e2 = set(zip(src2.tolist(), dst2.tolist()))
+    assert e1 == e2
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists())
+def test_degree_sum_equals_twice_edges(case):
+    n, src, dst = case
+    g = from_edges(n, src, dst)
+    assert int(g.degrees.sum()) == 2 * g.num_edges
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_lists())
+def test_reversed_involution(case):
+    n, src, dst = case
+    g = from_edges(n, src, dst)
+    assert g.reversed().reversed() == g

@@ -1,0 +1,248 @@
+"""Collective semantics: every SimComm operation against a sequential
+reference, at several rank counts."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Runtime, run_spmd
+
+NPROCS = [1, 2, 3, 4, 8]
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_barrier_runs(nprocs):
+    def fn(comm):
+        comm.barrier()
+        return comm.rank
+
+    out, stats = run_spmd(nprocs, fn)
+    assert out == list(range(nprocs))
+    assert stats.rounds == 1
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+@pytest.mark.parametrize("root", [0, -1])
+def test_bcast_object(nprocs, root):
+    root = root % nprocs
+
+    def fn(comm):
+        obj = {"payload": [1, 2, 3]} if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    out, _ = run_spmd(nprocs, fn)
+    assert all(o == {"payload": [1, 2, 3]} for o in out)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Bcast_array(nprocs):
+    def fn(comm):
+        arr = (
+            np.arange(10, dtype=np.int64) * 3
+            if comm.rank == 0
+            else np.empty(10, dtype=np.int64)
+        )
+        return comm.Bcast(arr, root=0)
+
+    out, _ = run_spmd(nprocs, fn)
+    for o in out:
+        np.testing.assert_array_equal(o, np.arange(10) * 3)
+
+
+def test_Bcast_receivers_get_private_copies():
+    def fn(comm):
+        arr = np.zeros(4) if comm.rank == 0 else np.empty(4)
+        got = comm.Bcast(arr, root=0)
+        got += comm.rank  # must not affect other ranks
+        comm.barrier()
+        return got.copy()
+
+    out, _ = run_spmd(4, fn)
+    for r, o in enumerate(out):
+        np.testing.assert_allclose(o, r)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_allgather(nprocs):
+    def fn(comm):
+        return comm.allgather(comm.rank * 10)
+
+    out, _ = run_spmd(nprocs, fn)
+    expected = [r * 10 for r in range(nprocs)]
+    assert all(o == expected for o in out)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_gather_scatter_roundtrip(nprocs):
+    def fn(comm):
+        gathered = comm.gather(comm.rank + 1, root=0)
+        if comm.rank == 0:
+            assert gathered == [r + 1 for r in range(comm.size)]
+            objs = [g * 2 for g in gathered]
+        else:
+            assert gathered is None
+            objs = None
+        return comm.scatter(objs, root=0)
+
+    out, _ = run_spmd(nprocs, fn)
+    assert out == [(r + 1) * 2 for r in range(nprocs)]
+
+
+@pytest.mark.parametrize("op,ref", [("sum", sum), ("max", max), ("min", min)])
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_allreduce_scalar(nprocs, op, ref):
+    def fn(comm):
+        return comm.allreduce(comm.rank + 1, op=op)
+
+    out, _ = run_spmd(nprocs, fn)
+    expected = ref(range(1, nprocs + 1))
+    assert out == [expected] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Allreduce_array(nprocs):
+    def fn(comm):
+        return comm.Allreduce(np.full(5, comm.rank, dtype=np.float64), op="sum")
+
+    out, _ = run_spmd(nprocs, fn)
+    total = sum(range(nprocs))
+    for o in out:
+        np.testing.assert_allclose(o, total)
+
+
+def test_Allreduce_shape_mismatch_raises():
+    def fn(comm):
+        return comm.Allreduce(np.zeros(comm.rank + 1))
+
+    with pytest.raises(ValueError, match="shape mismatch"):
+        run_spmd(3, fn)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Reduce_root_only(nprocs):
+    def fn(comm):
+        return comm.Reduce(np.array([comm.rank, 1.0]), op="sum", root=0)
+
+    out, _ = run_spmd(nprocs, fn)
+    np.testing.assert_allclose(out[0], [sum(range(nprocs)), nprocs])
+    assert all(o is None for o in out[1:])
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Allgatherv(nprocs):
+    def fn(comm):
+        mine = np.full(comm.rank + 1, comm.rank, dtype=np.int64)
+        merged, counts = comm.Allgatherv(mine)
+        return merged, counts
+
+    out, _ = run_spmd(nprocs, fn)
+    expected = np.concatenate(
+        [np.full(r + 1, r, dtype=np.int64) for r in range(nprocs)]
+    )
+    for merged, counts in out:
+        np.testing.assert_array_equal(merged, expected)
+        np.testing.assert_array_equal(counts, np.arange(1, nprocs + 1))
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Gatherv_and_Scatterv(nprocs):
+    def fn(comm):
+        mine = np.arange(comm.rank + 2, dtype=np.float64) + comm.rank
+        at_root = comm.Gatherv(mine, root=0)
+        if comm.rank == 0:
+            merged, counts = at_root
+            back = comm.Scatterv(merged, counts, root=0)
+        else:
+            assert at_root is None
+            back = comm.Scatterv(None, None, root=0)
+        np.testing.assert_array_equal(back, mine)
+        return True
+
+    out, _ = run_spmd(nprocs, fn)
+    assert all(out)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Alltoall_matrix_transpose_semantics(nprocs):
+    def fn(comm):
+        sent = np.array(
+            [comm.rank * 100 + dst for dst in range(comm.size)], dtype=np.int64
+        )
+        return comm.Alltoall(sent)
+
+    out, _ = run_spmd(nprocs, fn)
+    for dst, received in enumerate(out):
+        np.testing.assert_array_equal(
+            received, [src * 100 + dst for src in range(nprocs)]
+        )
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_Alltoallv_reference(nprocs):
+    def fn(comm):
+        # rank r sends (r, dst) pairs: dst copies of value r*1000+dst
+        counts = np.array(
+            [(comm.rank + dst) % 3 for dst in range(comm.size)], dtype=np.int64
+        )
+        buf = np.concatenate(
+            [
+                np.full(counts[dst], comm.rank * 1000 + dst, dtype=np.int64)
+                for dst in range(comm.size)
+            ]
+        ) if counts.sum() else np.empty(0, dtype=np.int64)
+        recv, rcounts = comm.Alltoallv(buf, counts)
+        return recv, rcounts
+
+    out, _ = run_spmd(nprocs, fn)
+    for dst, (recv, rcounts) in enumerate(out):
+        expected_counts = [(src + dst) % 3 for src in range(nprocs)]
+        np.testing.assert_array_equal(rcounts, expected_counts)
+        expected = np.concatenate(
+            [
+                np.full(c, src * 1000 + dst, dtype=np.int64)
+                for src, c in enumerate(expected_counts)
+            ]
+        ) if sum(expected_counts) else np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(recv, expected)
+
+
+def test_Alltoallv_validates_counts():
+    def fn(comm):
+        return comm.Alltoallv(np.zeros(5), np.array([1, 1]))  # sums to 2 != 5
+
+    with pytest.raises(ValueError):
+        run_spmd(2, fn)
+
+
+def test_Alltoallv_float_payload():
+    def fn(comm):
+        buf = np.full(comm.size, comm.rank + 0.5)
+        recv, _ = comm.Alltoallv(buf, np.ones(comm.size, dtype=np.int64))
+        return recv
+
+    out, _ = run_spmd(4, fn)
+    for recv in out:
+        np.testing.assert_allclose(recv, np.arange(4) + 0.5)
+
+
+@pytest.mark.parametrize("nprocs", NPROCS)
+def test_exscan(nprocs):
+    def fn(comm):
+        return comm.exscan(comm.rank + 1, op="sum")
+
+    out, _ = run_spmd(nprocs, fn)
+    assert out == [sum(range(1, r + 1)) for r in range(nprocs)]
+
+
+def test_phase_tagging():
+    def fn(comm):
+        with comm.phase("alpha"):
+            comm.barrier()
+            with comm.phase("beta"):
+                comm.allreduce(1)
+        comm.barrier()
+        return True
+
+    rt = Runtime(2)
+    rt.run(fn)
+    tags = [e.tag for e in rt.stats.events]
+    assert tags == ["alpha", "beta", ""]

@@ -1,0 +1,30 @@
+"""Cross-rank dtype consistency in Alltoallv (silent upcasts are bugs)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import run_spmd
+
+
+def test_alltoallv_dtype_mismatch_raises():
+    def fn(comm):
+        dtype = np.float64 if comm.rank == 0 else np.int64
+        comm.Alltoallv(
+            np.ones(comm.size, dtype=dtype),
+            np.ones(comm.size, dtype=np.int64),
+        )
+
+    with pytest.raises(ValueError, match="dtype mismatch"):
+        run_spmd(2, fn)
+
+
+def test_alltoallv_consistent_dtype_ok():
+    def fn(comm):
+        recv, _ = comm.Alltoallv(
+            np.full(comm.size, comm.rank, dtype=np.int32),
+            np.ones(comm.size, dtype=np.int64),
+        )
+        return recv.dtype == np.int32
+
+    out, _ = run_spmd(3, fn)
+    assert all(out)

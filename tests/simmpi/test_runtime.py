@@ -1,0 +1,136 @@
+"""Runtime semantics: error propagation, deadlock detection, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    CollectiveMismatchError,
+    DeadlockError,
+    Runtime,
+    run_spmd,
+)
+
+
+def test_single_rank_runs_inline():
+    def fn(comm):
+        assert comm.size == 1 and comm.rank == 0
+        comm.barrier()
+        return comm.allreduce(5)
+
+    out, stats = run_spmd(1, fn)
+    assert out == [5]
+    assert stats.rounds == 2
+
+
+def test_rank_args():
+    def fn(comm, bonus):
+        return comm.rank + bonus
+
+    rt = Runtime(3)
+    out = rt.run(fn, rank_args=[(10,), (20,), (30,)])
+    assert out == [10, 21, 32]
+
+
+def test_rank_args_length_checked():
+    rt = Runtime(3)
+    with pytest.raises(ValueError, match="rank_args"):
+        rt.run(lambda comm: None, rank_args=[(1,)])
+
+
+def test_shared_args_and_kwargs():
+    def fn(comm, a, b=0):
+        return a + b + comm.rank
+
+    out = Runtime(2).run(fn, 5, b=7)
+    assert out == [12, 13]
+
+
+def test_exception_propagates_to_caller():
+    def fn(comm):
+        if comm.rank == 1:
+            raise RuntimeError("boom on rank 1")
+        comm.barrier()
+
+    with pytest.raises(RuntimeError, match="boom on rank 1"):
+        run_spmd(3, fn)
+
+
+def test_exception_before_any_collective():
+    def fn(comm):
+        raise ValueError("instant failure")
+
+    with pytest.raises(ValueError, match="instant failure"):
+        run_spmd(2, fn)
+
+
+def test_collective_mismatch_detected():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.barrier()
+        else:
+            comm.allreduce(1)
+
+    with pytest.raises(CollectiveMismatchError):
+        run_spmd(2, fn)
+
+
+def test_deadlock_when_one_rank_returns_early():
+    def fn(comm):
+        if comm.rank == 0:
+            return "done early"
+        comm.barrier()
+
+    with pytest.raises(DeadlockError):
+        run_spmd(2, fn)
+
+
+def test_deadlock_when_rank_enters_extra_collective():
+    def fn(comm):
+        comm.barrier()
+        if comm.rank == 0:
+            comm.barrier()  # others never join
+
+    with pytest.raises(DeadlockError):
+        run_spmd(3, fn)
+
+
+def test_deterministic_results_across_runs():
+    def fn(comm):
+        rng = np.random.default_rng(comm.rank)
+        local = rng.random(100)
+        total = comm.Allreduce(local, op="sum")
+        merged, _ = comm.Allgatherv(local)
+        return float(total.sum()), float(merged.sum())
+
+    first, _ = run_spmd(4, fn)
+    second, _ = run_spmd(4, fn)
+    assert first == second
+
+
+def test_runtime_reusable_after_success():
+    rt = Runtime(2)
+    out1 = rt.run(lambda comm: comm.allreduce(1))
+    out2 = rt.run(lambda comm: comm.allreduce(2))
+    assert out1 == [2, 2] and out2 == [4, 4]
+    assert rt.stats.rounds == 2  # stats accumulate across runs
+
+
+def test_invalid_nprocs_rejected():
+    with pytest.raises(ValueError):
+        Runtime(0)
+
+
+def test_many_ranks():
+    def fn(comm):
+        return comm.allreduce(comm.rank, op="sum")
+
+    out, _ = run_spmd(32, fn)
+    assert out == [sum(range(32))] * 32
+
+
+def test_compute_metering_disabled():
+    def fn(comm):
+        comm.barrier()
+
+    _, stats = run_spmd(2, fn, meter_compute=False)
+    assert stats.events[0].compute_seconds.sum() == 0.0

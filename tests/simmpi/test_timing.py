@@ -1,0 +1,77 @@
+"""Alpha-beta machine-model math."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import CommStats, MachineModel, TimeModel
+from repro.simmpi.metrics import CollectiveEvent
+
+
+def _event(op, nbytes, compute, tag=""):
+    return CollectiveEvent(
+        op=op,
+        tag=tag,
+        bytes_sent=np.asarray(nbytes, dtype=np.int64),
+        compute_seconds=np.asarray(compute, dtype=np.float64),
+    )
+
+
+def test_tree_collective_cost_log_hops():
+    m = MachineModel(alpha=1.0, beta=0.0)
+    e = _event("allreduce", [0, 0, 0, 0], [0, 0, 0, 0])
+    assert m.collective_cost(e, 4) == pytest.approx(2.0)  # log2(4) hops
+    assert m.collective_cost(e, 5) == pytest.approx(3.0)  # ceil(log2(5))
+
+
+def test_pairwise_collective_cost_p_minus_1():
+    m = MachineModel(alpha=1.0, beta=0.0)
+    e = _event("alltoallv", [0, 0, 0, 0], [0, 0, 0, 0])
+    assert m.collective_cost(e, 4) == pytest.approx(3.0)
+
+
+def test_bandwidth_term_uses_max_rank():
+    m = MachineModel(alpha=0.0, beta=1.0)
+    e = _event("allreduce", [10, 50, 20], [0, 0, 0])
+    assert m.collective_cost(e, 3) == pytest.approx(50.0)
+
+
+def test_single_rank_comm_is_free():
+    m = MachineModel(alpha=1.0, beta=1.0)
+    e = _event("allreduce", [100], [0])
+    assert m.collective_cost(e, 1) == 0.0
+
+
+def test_superstep_time_is_compute_plus_comm():
+    model = TimeModel(MachineModel(alpha=1.0, beta=2.0, compute_scale=1.0))
+    e = _event("allreduce", [4, 8], [0.5, 0.25])
+    # compute 0.5 + latency 1*log2(2) + bandwidth 2*8
+    assert model.superstep_time(e, 2) == pytest.approx(0.5 + 1.0 + 16.0)
+
+
+def test_compute_scale():
+    model = TimeModel(MachineModel(alpha=0.0, beta=0.0, compute_scale=0.5))
+    e = _event("barrier", [0, 0], [2.0, 1.0])
+    assert model.superstep_time(e, 2) == pytest.approx(1.0)
+
+
+def test_total_and_breakdown_consistent():
+    stats = CommStats(2)
+    stats.record(_event("allreduce", [8, 8], [0.1, 0.2]))
+    stats.record(_event("alltoallv", [100, 50], [0.3, 0.1]))
+    model = TimeModel(MachineModel(alpha=1e-3, beta=1e-6))
+    breakdown = model.breakdown(stats)
+    assert breakdown["total"] == pytest.approx(model.total_time(stats))
+    assert breakdown["compute"] == pytest.approx(0.2 + 0.3)
+    assert breakdown["latency"] == pytest.approx(1e-3 * (1 + 1))
+    assert breakdown["bandwidth"] == pytest.approx(1e-6 * (8 + 100))
+
+
+def test_time_by_tag():
+    stats = CommStats(2)
+    stats.record(_event("barrier", [0, 0], [1.0, 0.0], tag="a"))
+    stats.record(_event("barrier", [0, 0], [2.0, 0.0], tag="b"))
+    stats.record(_event("barrier", [0, 0], [3.0, 0.0], tag="a"))
+    model = TimeModel(MachineModel(alpha=0.0, beta=0.0))
+    by_tag = model.time_by_tag(stats)
+    assert by_tag["a"] == pytest.approx(4.0)
+    assert by_tag["b"] == pytest.approx(2.0)

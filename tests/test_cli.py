@@ -1,0 +1,61 @@
+"""CLI end-to-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import io, rmat
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    g = rmat(8, 10, seed=1)
+    path = tmp_path / "g.txt"
+    io.write_edge_list(g, path)
+    return str(path), g
+
+
+def test_cli_partitions_and_writes(graph_file, tmp_path, capsys):
+    path, g = graph_file
+    out = tmp_path / "parts.txt"
+    rc = main([path, "-p", "4", "-r", "2", "-o", str(out)])
+    assert rc == 0
+    parts = np.loadtxt(out, dtype=np.int64)
+    assert parts.shape == (g.n,)
+    assert parts.min() >= 0 and parts.max() < 4
+    captured = capsys.readouterr().out
+    assert "cut=" in captured and "modeled parallel time" in captured
+
+
+def test_cli_metis_input(tmp_path):
+    g = rmat(7, 8, seed=2)
+    path = tmp_path / "g.metis"
+    io.write_metis(g, path)
+    assert main([str(path), "-p", "2", "-r", "1"]) == 0
+
+
+def test_cli_npz_input(tmp_path):
+    g = rmat(7, 8, seed=2)
+    path = tmp_path / "g.npz"
+    io.save_npz(g, path)
+    assert main([str(path), "-p", "2", "-r", "1", "--single-objective"]) == 0
+
+
+def test_cli_missing_file(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.txt")]) == 2
+    assert "error reading" in capsys.readouterr().err
+
+
+def test_cli_too_many_parts(graph_file, capsys):
+    path, g = graph_file
+    assert main([path, "-p", str(g.n + 5)]) == 2
+    assert "cannot cut" in capsys.readouterr().err
+
+
+def test_cli_options(graph_file):
+    path, _ = graph_file
+    assert main([
+        path, "-p", "4", "-r", "2", "--init", "block",
+        "--vert-imbalance", "0.2", "--edge-imbalance", "0.2",
+        "--distribution", "block", "--seed", "7",
+    ]) == 0

@@ -1,0 +1,51 @@
+"""Graph suite registry."""
+
+import pytest
+
+from repro.suite import (
+    REPRESENTATIVE_SIX,
+    SCALE_N,
+    SUITE,
+    get_graph,
+    suite_names,
+)
+
+
+def test_suite_contains_all_classes():
+    assert set(suite_names()) == {
+        "social", "webcrawl", "rmat", "rander", "randhd", "mesh",
+    }
+    assert set(REPRESENTATIVE_SIX) <= set(suite_names())
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_tiny_graphs_build(name):
+    g = get_graph(name, "tiny")
+    target = SCALE_N["tiny"]
+    assert 0.8 * target <= g.n <= 1.3 * target
+    assert g.num_edges > 0
+    assert not g.directed
+
+
+def test_deterministic():
+    a = get_graph("rmat", "tiny")
+    b = get_graph("rmat", "tiny")
+    assert a == b
+
+
+def test_custom_seed():
+    a = get_graph("social", "tiny", seed=1)
+    b = get_graph("social", "tiny", seed=2)
+    assert a != b
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(KeyError):
+        get_graph("nope", "tiny")
+    with pytest.raises(KeyError):
+        get_graph("rmat", "huge")
+
+
+def test_metadata():
+    assert SUITE["randhd"].recommended_init == "block"
+    assert "uk-2002" in SUITE["webcrawl"].paper_analog
