@@ -1,0 +1,58 @@
+"""Execution-backend comparison: same partitioning job on every backend.
+
+The backends trade scheduling strategy for speed — ``serial`` interleaves
+all ranks on one thread, ``threads`` overlaps ranks wherever NumPy drops
+the GIL, ``procs`` forks real processes and pays shared-memory transport
+per collective to escape the GIL entirely.  Because the algorithm is bulk
+synchronous, all three must produce bit-identical partitions and byte
+counts; this bench records what each one costs in wall time, and the
+determinism columns double as an end-to-end cross-backend check on a
+bigger graph than the unit tests use.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable
+from repro.core import PulpParams, xtrapulp
+from repro.simmpi import available_backends
+
+PARTS = 8
+NPROCS = 4
+GRAPH = "rmat"
+
+
+def test_backend_comparison(benchmark, suite_graph):
+    table = ExperimentTable(
+        "backend_comparison",
+        ["backend", "wall_s", "model_s", "cutsize", "MiB_sent",
+         "same_parts_as_serial"],
+        notes=f"{GRAPH}/small, {PARTS} parts on {NPROCS} ranks; identical "
+              "partitions and traffic required on every backend",
+    )
+    g = suite_graph(GRAPH, "small")
+    backends = sorted(available_backends())
+
+    def experiment():
+        return {
+            b: xtrapulp(g, PARTS, nprocs=NPROCS,
+                        params=PulpParams(seed=42), backend=b)
+            for b in backends
+        }
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    ref = runs["serial"]
+    for b in backends:
+        r = runs[b]
+        assert r.stats.bytes_by_tag() == ref.stats.bytes_by_tag()
+        table.add(
+            b,
+            round(r.wall_seconds, 3),
+            round(r.modeled_seconds, 4),
+            int(r.quality().cut),
+            round(r.stats.total_bytes / 2**20, 2),
+            bool(np.array_equal(r.parts, ref.parts)),
+        )
+    table.emit()
+    for b in backends:
+        np.testing.assert_array_equal(runs[b].parts, ref.parts)

@@ -23,7 +23,7 @@ from repro.graph.builders import symmetrize
 from repro.graph.csr import Graph
 from repro.simmpi.comm import SimComm
 from repro.simmpi.metrics import CommStats
-from repro.simmpi.runtime import Runtime
+from repro.simmpi.backends import Backend, create_runtime
 from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel, TimeModel
 
 
@@ -100,6 +100,7 @@ def run_analytic(
     machine: MachineModel = BLUE_WATERS_LIKE,
     directed: Optional[Graph] = None,
     name: Optional[str] = None,
+    backend: Union[str, None, Backend] = None,
     **kernel_kwargs: Any,
 ) -> AnalyticResult:
     """Run ``kernel(comm, dg, plan, **kwargs)`` SPMD and gather its output.
@@ -134,10 +135,13 @@ def run_analytic(
 
     # kernels charge deterministic work units; disable the noisy
     # thread-time metering so modeled times are exactly reproducible
-    runtime = Runtime(nprocs, meter_compute=False)
-    t0 = time.perf_counter()
-    per_rank = runtime.run(rank_main)
-    wall = time.perf_counter() - t0
+    runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False)
+    try:
+        t0 = time.perf_counter()
+        per_rank = runtime.run(rank_main)
+        wall = time.perf_counter() - t0
+    finally:
+        runtime.close()
     first = per_rank[0][1]
     values = np.empty(graph.n, dtype=first.dtype)
     for gids, vals in per_rank:

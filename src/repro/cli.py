@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core import PulpParams, xtrapulp
 from repro.graph import io
+from repro.simmpi import available_backends
 
 
 def _load_graph(path: str):
@@ -46,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--distribution", choices=["random", "block"],
                         default="random")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default=None,
+                        help="execution backend for the simulated ranks "
+                             "(default: $REPRO_BACKEND or 'threads'); all "
+                             "backends produce identical partitions")
     return parser
 
 
@@ -70,12 +76,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     result = xtrapulp(
         graph, args.parts, nprocs=args.ranks, params=params,
-        distribution=args.distribution,
+        distribution=args.distribution, backend=args.backend,
     )
     q = result.quality()
     print(q.formatted())
     print(f"modeled parallel time: {result.modeled_seconds * 1e3:.1f} ms on "
-          f"{args.ranks} ranks; wall {result.wall_seconds:.2f} s; "
+          f"{args.ranks} ranks ({result.backend} backend); "
+          f"wall {result.wall_seconds:.2f} s; "
           f"{result.stats.total_bytes / 2**20:.2f} MiB communicated")
     if args.output:
         np.savetxt(args.output, result.parts, fmt="%d")

@@ -32,9 +32,9 @@ from repro.core.vertex_balance import vertex_balance_phase
 from repro.dist.build import build_dist_graph
 from repro.dist.distribution import Distribution, make_distribution
 from repro.graph.csr import Graph
+from repro.simmpi.backends import Backend, create_runtime
 from repro.simmpi.comm import SimComm
 from repro.simmpi.metrics import CommStats
-from repro.simmpi.runtime import Runtime
 from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel, TimeModel
 
 #: Phase tags that count toward partitioning time (build/gather excluded,
@@ -59,6 +59,7 @@ class PartitionResult:
     stats: CommStats
     wall_seconds: float
     machine: MachineModel = BLUE_WATERS_LIKE
+    backend: str = "threads"
     _graph: Optional[Graph] = field(default=None, repr=False)
 
     @property
@@ -120,6 +121,7 @@ def xtrapulp(
     keep_graph: bool = True,
     initial_parts: Optional[np.ndarray] = None,
     vertex_weights: Optional[np.ndarray] = None,
+    backend: Union[str, None, Backend] = None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``num_parts`` parts on ``nprocs`` simulated
     MPI ranks.
@@ -152,6 +154,12 @@ def xtrapulp(
         becomes per-part *weight* <= ``(1 + Rat_v) W(V) / p`` (the weighted
         partitioning of the PuLP family; unit weights reproduce the paper's
         setting exactly).
+    backend:
+        Execution backend for the simulated ranks (``"serial"``,
+        ``"threads"``, ``"procs"``, or a pre-built
+        :class:`~repro.simmpi.backends.base.Backend`); None honors
+        ``$REPRO_BACKEND`` and defaults to ``"threads"``.  Identical
+        partitions and communication stats are produced on every backend.
     """
     if graph.directed:
         raise ValueError("xtrapulp partitions undirected (symmetric) graphs")
@@ -177,13 +185,16 @@ def xtrapulp(
 
     # all phases charge deterministic work units (priced by the machine
     # model's gamma), so modeled times are exactly reproducible
-    runtime = Runtime(nprocs, meter_compute=False)
-    t0 = time.perf_counter()
-    per_rank = runtime.run(
-        _rank_main, graph, dist, num_parts, params, initial_parts,
-        vertex_weights,
-    )
-    wall = time.perf_counter() - t0
+    runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False)
+    try:
+        t0 = time.perf_counter()
+        per_rank = runtime.run(
+            _rank_main, graph, dist, num_parts, params, initial_parts,
+            vertex_weights,
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        runtime.close()
 
     parts = np.empty(graph.n, dtype=np.int64)
     seen = 0
@@ -201,5 +212,6 @@ def xtrapulp(
         stats=runtime.stats,
         wall_seconds=wall,
         machine=machine,
+        backend=runtime.name,
         _graph=graph if keep_graph else None,
     )

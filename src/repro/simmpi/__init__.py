@@ -7,10 +7,17 @@ MPI rank executes the *same per-rank code* a real MPI program would, and all
 inter-rank interaction goes through metered collective operations on NumPy
 buffers (``Bcast``, ``Alltoall``, ``Alltoallv``, ``Allreduce``, ...).
 
-Ranks run as native threads; collectives are rendezvous points.  Because the
+How ranks execute is pluggable (:mod:`repro.simmpi.backends`): ``serial``
+runs them as a deterministic round-robin superstep interpreter, ``threads``
+runs one native thread per rank (NumPy releases the GIL), and ``procs``
+forks one process per rank and moves payloads through
+``multiprocessing.shared_memory``, escaping the GIL for pure-Python rank
+code.  Collectives are rendezvous points in every backend; because the
 algorithms built on top are bulk-synchronous (all communication happens in
-collectives, ranks only mutate rank-local state in between), results are
-deterministic and independent of thread scheduling.
+collectives, ranks only mutate rank-local state in between), a fixed-seed
+program produces bit-identical results and communication records on all
+backends — pick one with :func:`~repro.simmpi.backends.create_runtime` or
+the ``REPRO_BACKEND`` environment variable.
 
 Every byte that crosses a rank boundary is accounted by
 :class:`~repro.simmpi.metrics.CommStats`, and
@@ -22,6 +29,16 @@ benchmark harness reports this modeled time alongside wall time; scaling
 volume, both of which are measured exactly here.
 """
 
+from repro.simmpi.backends import (
+    Backend,
+    ProcsBackend,
+    SerialBackend,
+    ThreadsBackend,
+    available_backends,
+    create_runtime,
+    default_backend,
+    register_backend,
+)
 from repro.simmpi.comm import SimComm
 from repro.simmpi.errors import (
     CollectiveMismatchError,
@@ -37,6 +54,14 @@ __all__ = [
     "SimComm",
     "Runtime",
     "run_spmd",
+    "Backend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcsBackend",
+    "create_runtime",
+    "register_backend",
+    "available_backends",
+    "default_backend",
     "CommStats",
     "CollectiveEvent",
     "MachineModel",

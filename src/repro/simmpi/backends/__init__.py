@@ -1,0 +1,121 @@
+"""Pluggable execution backends for the simulated MPI runtime.
+
+Backends are interchangeable implementations of the
+:class:`~repro.simmpi.backends.base.Backend` interface (spawn ranks,
+rendezvous, collective compute, teardown), selected by name through a
+chainermn-style factory::
+
+    rt = create_runtime("procs", nprocs=8)
+    out = rt.run(rank_fn)
+    rt.close()
+
+Shipped backends:
+
+=========  =======================  =============================  =======================================
+name       parallelism              determinism                    recommended use
+=========  =======================  =============================  =======================================
+serial     none (round-robin)       results *and* schedule         debugging rank code, minimal repros
+threads    native threads (GIL)     results                        default; NumPy-heavy kernels
+procs      forked processes + shm   results                        pure-Python rank code, strong scaling
+=========  =======================  =============================  =======================================
+
+All backends execute identical collective semantics and metering, so a
+fixed-seed program yields bit-identical results and
+:class:`~repro.simmpi.metrics.CommStats` on every backend.
+
+The default backend (used when ``backend=None``) is ``threads``, overridable
+with the ``REPRO_BACKEND`` environment variable — which is how CI runs the
+whole backend-tagged test selection once per backend.  Third-party backends
+can be added with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Type, Union
+
+from repro.simmpi.backends.base import Backend
+from repro.simmpi.backends.procs import ProcsBackend
+from repro.simmpi.backends.serial import SerialBackend
+from repro.simmpi.backends.threads import ThreadsBackend
+
+#: Environment variable consulted when ``create_runtime(backend=None)``.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Fallback when neither the caller nor the environment picks a backend.
+DEFAULT_BACKEND = "threads"
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(name: str, cls: Type[Backend]) -> None:
+    """Register an execution backend class under ``name``."""
+    if not issubclass(cls, Backend):
+        raise TypeError(f"{cls!r} is not a Backend subclass")
+    _REGISTRY[name] = cls
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`create_runtime`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def default_backend() -> str:
+    """The name used when no backend is requested explicitly."""
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def create_runtime(
+    backend: Union[str, None, Backend] = None,
+    *,
+    nprocs: int,
+    meter_compute: bool = True,
+) -> Backend:
+    """Create an execution backend by name (chainermn-style factory).
+
+    Parameters
+    ----------
+    backend:
+        Registry name (``"serial"``, ``"threads"``, ``"procs"``, ...), an
+        already-constructed :class:`Backend` (passed through after a rank
+        count check), or None to use ``$REPRO_BACKEND`` falling back to
+        ``"threads"``.
+    nprocs:
+        Number of simulated MPI ranks.
+    meter_compute:
+        Forwarded to the backend; see :class:`Backend`.
+    """
+    if isinstance(backend, Backend):
+        if backend.nprocs != nprocs:
+            raise ValueError(
+                f"backend instance has nprocs={backend.nprocs}, "
+                f"requested {nprocs}"
+            )
+        return backend
+    name = backend if backend is not None else default_backend()
+    try:
+        cls = _REGISTRY[name]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown execution backend {name!r}; "
+            f"valid choices: {available_backends()}"
+        ) from None
+    return cls(nprocs, meter_compute=meter_compute)
+
+
+register_backend(SerialBackend.name, SerialBackend)
+register_backend(ThreadsBackend.name, ThreadsBackend)
+register_backend(ProcsBackend.name, ProcsBackend)
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "ProcsBackend",
+    "create_runtime",
+    "register_backend",
+    "available_backends",
+    "default_backend",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+]

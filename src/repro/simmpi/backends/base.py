@@ -1,0 +1,209 @@
+"""Abstract execution-backend interface for the simulated MPI runtime.
+
+A *backend* owns the four mechanics every SPMD execution needs:
+
+1. **spawn** — start one execution context per simulated rank and run the
+   user's rank function in it (`:meth:`Backend.run``);
+2. **rendezvous** — block each rank at a collective until all ranks have
+   deposited a matching contribution (`:meth:`Backend.collective``);
+3. **collective compute** — apply the collective's ``execute`` function to
+   the full contribution list exactly once and hand each rank its slice;
+4. **teardown** — release any OS resources (threads, processes, shared
+   memory) the backend acquired (`:meth:`Backend.close``).
+
+Everything *above* this interface — :class:`repro.simmpi.comm.SimComm`,
+the partitioner, the analytics engine — is backend-agnostic: the same rank
+code runs unmodified on every backend, and because metering happens at the
+rendezvous (op, tag, per-rank bytes/work), a fixed-seed program produces
+bit-identical results and :class:`~repro.simmpi.metrics.CommStats` on all
+of them.  That invariant is the subsystem's correctness oracle and is
+enforced by ``tests/test_backends_conformance.py``.
+
+Concrete backends live next to this module and are selected by name via
+:func:`repro.simmpi.backends.create_runtime` (chainermn-style registry).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simmpi.errors import RemoteRankError
+from repro.simmpi.metrics import CollectiveEvent, CommStats
+
+
+class _Pending:
+    """State of the collective currently being assembled (in-process)."""
+
+    __slots__ = ("op", "tag", "contribs", "nbytes", "compute", "work",
+                 "arrived", "results")
+
+    def __init__(self, nprocs: int, op: str, tag: str) -> None:
+        self.op = op
+        self.tag = tag
+        self.contribs: List[Any] = [None] * nprocs
+        self.nbytes = np.zeros(nprocs, dtype=np.int64)
+        self.compute = np.zeros(nprocs, dtype=np.float64)
+        self.work = np.zeros(nprocs, dtype=np.float64)
+        self.arrived = 0
+        self.results: Optional[List[Any]] = None
+
+
+class Backend(ABC):
+    """Abstract execution backend (one subclass per parallelism strategy).
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated MPI ranks.
+    meter_compute:
+        If False, skip the per-rank ``thread_time`` calls (slightly faster;
+        modeled times then contain only communication and charged-work
+        terms).  Deterministic kernels run with this off.
+    """
+
+    #: Registry name of the backend (set by each subclass).
+    name: str = "abstract"
+
+    def __init__(self, nprocs: int, *, meter_compute: bool = True) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = int(nprocs)
+        self.meter_compute = bool(meter_compute)
+        self.stats = CommStats(self.nprocs)
+
+    # -- rendezvous + collective compute -----------------------------------
+
+    def collective(
+        self,
+        rank: int,
+        op: str,
+        tag: str,
+        contribution: Any,
+        nbytes_sent: int,
+        execute: Callable[[List[Any]], List[Any]],
+        compute_seconds: float,
+        work_units: float = 0.0,
+    ) -> Any:
+        """Deposit ``contribution`` for ``op``; block until all ranks match.
+
+        ``execute`` maps the full list of contributions (indexed by rank) to
+        a list of per-rank results; it runs exactly once per superstep.
+        ``nbytes_sent`` is this rank's off-rank payload for the metering
+        convention documented in :mod:`repro.simmpi.metrics`.
+        """
+        if self.nprocs == 1:
+            results = execute([contribution])
+            self._record(op, tag,
+                         np.zeros(1, dtype=np.int64),
+                         np.array([compute_seconds]),
+                         np.array([work_units]))
+            return results[0]
+        return self._collective_parallel(
+            rank, op, tag, contribution, nbytes_sent, execute,
+            compute_seconds, work_units,
+        )
+
+    def _collective_parallel(
+        self,
+        rank: int,
+        op: str,
+        tag: str,
+        contribution: Any,
+        nbytes_sent: int,
+        execute: Callable[[List[Any]], List[Any]],
+        compute_seconds: float,
+        work_units: float,
+    ) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not execute collectives in the "
+            "driver process; ranks use their own endpoints"
+        )
+
+    def _record(
+        self,
+        op: str,
+        tag: str,
+        bytes_sent: np.ndarray,
+        compute_seconds: np.ndarray,
+        work_units: np.ndarray,
+    ) -> None:
+        self.stats.record(CollectiveEvent(
+            op=op, tag=tag, bytes_sent=bytes_sent,
+            compute_seconds=compute_seconds, work_units=work_units,
+        ))
+
+    # -- spawning SPMD programs --------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        rank_args: Optional[Sequence[Sequence[Any]]] = None,
+        **kwargs: Any,
+    ) -> List[Any]:
+        """Run ``fn(comm, *rank_args[r], *args, **kwargs)`` on every rank.
+
+        Returns the list of per-rank return values.  ``args``/``kwargs`` are
+        shared across ranks (treat them as read-only inside ``fn``);
+        ``rank_args`` supplies per-rank positional arguments.
+        """
+        from repro.simmpi.comm import SimComm
+
+        if rank_args is not None and len(rank_args) != self.nprocs:
+            raise ValueError(
+                f"rank_args has {len(rank_args)} entries for {self.nprocs} ranks"
+            )
+        if self.nprocs == 1:
+            comm = SimComm(self, 0)
+            extra = tuple(rank_args[0]) if rank_args is not None else ()
+            return [fn(comm, *extra, *args, **kwargs)]
+        return self._run_parallel(fn, args, rank_args, kwargs)
+
+    @abstractmethod
+    def _run_parallel(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        rank_args: Optional[Sequence[Sequence[Any]]],
+        kwargs: dict,
+    ) -> List[Any]:
+        """Run the SPMD program with ``nprocs >= 2`` ranks."""
+
+    @staticmethod
+    def _raise_collected(
+        errors: Sequence[Optional[BaseException]],
+        failure: Optional[BaseException] = None,
+    ) -> None:
+        """Re-raise the most meaningful failure of a finished run.
+
+        Priority: a rank's own (non-remote) exception, then the recorded
+        first failure (e.g. a DeadlockError raised on behalf of ranks that
+        only ever observed a RemoteRankError), then any RemoteRankError.
+        """
+        primary = next((e for e in errors if e is not None
+                        and not isinstance(e, RemoteRankError)), None)
+        if primary is not None:
+            raise primary
+        if failure is not None and not isinstance(failure, RemoteRankError):
+            raise failure
+        secondary = next((e for e in errors if e is not None), None)
+        if secondary is not None:
+            raise secondary
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources.  Idempotent; default is a no-op."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(nprocs={self.nprocs}, "
+                f"meter_compute={self.meter_compute})")

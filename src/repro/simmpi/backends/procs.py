@@ -1,0 +1,466 @@
+"""Process-per-rank execution backend over POSIX shared memory.
+
+Escapes the GIL for pure-Python rank code: each rank is a forked OS process,
+and all rendezvous traffic travels through ``multiprocessing.shared_memory``
+segments, serialized with pickle protocol 5 so NumPy payloads are written as
+raw out-of-band buffers (and read back zero-copy by the computing rank).
+
+Rendezvous is a lockstep **barrier + designated-computer** protocol.  Every
+superstep, each rank publishes one action into its own shared-memory request
+slot — a collective contribution, a "done" marker once its rank function has
+returned, or an "err" marker carrying an exception — and enters a barrier.
+Between the two barrier phases rank 0 (the designated computer) reads all
+request slots, checks that the actions agree, executes the collective with
+its own ``execute`` closure, writes each rank's result into that rank's
+response slot, and ships the metering record to the parent.  Mixed
+done/collective actions become a
+:class:`~repro.simmpi.errors.DeadlockError`, disagreeing collectives a
+:class:`~repro.simmpi.errors.CollectiveMismatchError`, and an "err" marker
+releases every rank with :class:`~repro.simmpi.errors.RemoteRankError`
+while the original exception is re-raised from :meth:`ProcsBackend.run`.
+
+Shared-memory lifecycle: all slots are created by the parent **before**
+forking (so every process shares one resource tracker), a slot that outgrows
+its segment creates a replacement and immediately unlinks the old one, and
+the parent unlinks whatever segment each slot currently names in a
+``finally`` — on normal exit *and* when a rank raises — so no segment and no
+``resource_tracker`` warning outlives a run.  The parent also supervises the
+children: if one dies without reporting (hard crash), it breaks the barrier
+so the surviving ranks error out instead of hanging.
+
+Requires the ``fork`` start method (fork is what lets closures and
+unpicklable shared arguments reach the ranks), so this backend is
+POSIX-only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import struct
+import threading
+import time
+from multiprocessing import shared_memory, sharedctypes
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simmpi.backends.base import Backend
+from repro.simmpi.errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    RemoteRankError,
+)
+
+_HEADER = struct.Struct("<qq")  # (pickle length, number of oob buffers)
+_BUFLEN = struct.Struct("<q")
+_NAME_CAP = 120  # shm segment names are short ("psm_...")
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it round-trips through pickle, else a stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RemoteRankError(f"unpicklable rank exception: {exc!r}")
+
+
+class _Slot:
+    """A growable shared-memory blob.
+
+    The payload lives in a ``SharedMemory`` segment; the segment's *current*
+    name is published in a fork-shared ctypes array so any process can
+    (re-)attach after the owner replaced the segment with a larger one.
+    Writers and readers of one slot are separated by the superstep barriers,
+    so the slot itself needs no locking.
+    """
+
+    INITIAL = 1 << 16
+
+    def __init__(self) -> None:
+        seg = shared_memory.SharedMemory(create=True, size=self.INITIAL)
+        self._published = sharedctypes.RawArray("c", _NAME_CAP)
+        self._publish(seg.name)
+        self._seg: Optional[shared_memory.SharedMemory] = seg
+
+    def _publish(self, name: str) -> None:
+        raw = name.encode()
+        if len(raw) >= _NAME_CAP:  # pragma: no cover - names are ~14 chars
+            raise ValueError(f"shm name too long: {name!r}")
+        self._published[: len(raw)] = raw
+        self._published[len(raw):] = b"\0" * (_NAME_CAP - len(raw))
+
+    def _segment(self) -> shared_memory.SharedMemory:
+        want = self._published.value.decode()
+        if self._seg is None or self._seg.name != want:
+            self.close()
+            self._seg = shared_memory.SharedMemory(name=want)
+        return self._seg
+
+    def _ensure(self, nbytes: int) -> shared_memory.SharedMemory:
+        seg = self._segment()
+        if seg.size >= nbytes:
+            return seg
+        size = max(seg.size, self.INITIAL)
+        while size < nbytes:
+            size *= 2
+        new = shared_memory.SharedMemory(create=True, size=size)
+        self._publish(new.name)
+        self._seg = new
+        # the grower retires the replaced segment; other processes re-attach
+        # by the published name and close their stale mapping lazily
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - a view still alive
+            pass
+        seg.unlink()
+        return new
+
+    def write(self, obj: Any) -> None:
+        """Serialize ``obj`` into the slot (NumPy buffers out-of-band)."""
+        oob: List[pickle.PickleBuffer] = []
+        payload = pickle.dumps(obj, protocol=5, buffer_callback=oob.append)
+        raws = [b.raw() for b in oob]
+        total = (_HEADER.size + _BUFLEN.size * len(raws) + len(payload)
+                 + sum(r.nbytes for r in raws))
+        buf = self._ensure(total).buf
+        off = 0
+        _HEADER.pack_into(buf, off, len(payload), len(raws))
+        off += _HEADER.size
+        for r in raws:
+            _BUFLEN.pack_into(buf, off, r.nbytes)
+            off += _BUFLEN.size
+        buf[off:off + len(payload)] = payload
+        off += len(payload)
+        for r in raws:
+            buf[off:off + r.nbytes] = r
+            off += r.nbytes
+
+    def read(self, *, copy: bool) -> Any:
+        """Deserialize the slot's payload.
+
+        ``copy=False`` reconstructs NumPy arrays as zero-copy views into the
+        segment — only safe for consumers that drop every reference before
+        the slot is rewritten (the designated computer).  Rank-facing reads
+        use ``copy=True`` so returned arrays own their data.
+        """
+        buf = self._segment().buf
+        payload_len, n_bufs = _HEADER.unpack_from(buf, 0)
+        off = _HEADER.size
+        lens = []
+        for _ in range(n_bufs):
+            lens.append(_BUFLEN.unpack_from(buf, off)[0])
+            off += _BUFLEN.size
+        payload = bytes(buf[off:off + payload_len])
+        off += payload_len
+        buffers = []
+        for n in lens:
+            view = buf[off:off + n]
+            # bytearray, not bytes: rank-facing copies must be writable
+            buffers.append(bytearray(view) if copy else view)
+            off += n
+        return pickle.loads(payload, buffers=buffers)
+
+    def close(self) -> None:
+        """Drop this process's mapping (never destroys the segment)."""
+        if self._seg is not None:
+            try:
+                self._seg.close()
+            except BufferError:  # pragma: no cover - exported view alive
+                pass
+            self._seg = None
+
+    def unlink(self) -> None:
+        """Destroy whatever segment the slot currently names (teardown)."""
+        try:
+            seg = self._segment()
+        except FileNotFoundError:
+            return
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already retired
+            pass
+        self.close()
+
+
+class _Session:
+    """Per-run shared state: slots, barrier, failure cell, stats channel."""
+
+    def __init__(self, ctx, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self.barrier = ctx.Barrier(nprocs)
+        self.fail_flag = sharedctypes.RawValue("i", 0)
+        self.request = [_Slot() for _ in range(nprocs)]
+        self.response = [_Slot() for _ in range(nprocs)]
+        self.failure = _Slot()
+        self.stats_queue = ctx.SimpleQueue()
+
+    def set_failure(self, exc: BaseException) -> None:
+        self.failure.write(_picklable(exc))
+        self.fail_flag.value = 1
+
+    def get_failure(self) -> Optional[BaseException]:
+        if not self.fail_flag.value:
+            return None
+        return self.failure.read(copy=True)
+
+    def teardown(self) -> None:
+        """Parent-side: destroy every live segment (idempotent)."""
+        for slot in (*self.request, *self.response, self.failure):
+            slot.unlink()
+
+
+class _RankEndpoint:
+    """Rank-side collective engine; satisfies SimComm's runtime protocol."""
+
+    def __init__(self, session: _Session, rank: int,
+                 meter_compute: bool) -> None:
+        self._session = session
+        self.rank = rank
+        self.nprocs = session.nprocs
+        self.meter_compute = meter_compute
+        self._step = 0
+
+    # SimComm calls this with the same signature as Backend.collective.
+    def collective(
+        self,
+        rank: int,
+        op: str,
+        tag: str,
+        contribution: Any,
+        nbytes_sent: int,
+        execute: Callable[[List[Any]], List[Any]],
+        compute_seconds: float,
+        work_units: float = 0.0,
+    ) -> Any:
+        action = ("coll", op, tag, int(nbytes_sent), float(compute_seconds),
+                  float(work_units), contribution)
+        kind, value = self._superstep(action, execute)
+        assert kind == "result"
+        return value
+
+    def drain(self) -> None:
+        """Keep answering supersteps with "done" until every rank is done."""
+        while True:
+            kind, _ = self._superstep(("done", None), None)
+            if kind == "all_done":
+                return
+
+    def announce_error(self, exc: BaseException) -> None:
+        """Publish a rank failure as this rank's next superstep action."""
+        try:
+            self._superstep(("err", _picklable(exc)), None)
+        except RemoteRankError:
+            pass  # expected: the superstep we just poisoned aborts
+
+    # -- protocol ----------------------------------------------------------
+
+    def _barrier(self) -> None:
+        try:
+            self._session.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise RemoteRankError(
+                f"rank {self.rank}: barrier broken (a peer process died)"
+            ) from None
+
+    def _superstep(self, action: tuple, execute: Optional[Callable]) -> tuple:
+        sess = self._session
+        sess.request[self.rank].write(action)
+        self._barrier()
+        if self.rank == 0:
+            try:
+                self._compute(execute)
+            finally:
+                self._barrier()
+        else:
+            self._barrier()
+        self._step += 1
+        failure = sess.get_failure()
+        if failure is not None:
+            raise RemoteRankError(
+                f"rank {self.rank}: aborted"
+            ) from failure
+        return sess.response[self.rank].read(copy=True)
+
+    def _compute(self, execute: Optional[Callable]) -> None:
+        """Designated-computer step (rank 0, between the two barriers)."""
+        sess = self._session
+        if sess.fail_flag.value:
+            return  # a previous superstep already failed
+        actions = [sess.request[r].read(copy=False)
+                   for r in range(self.nprocs)]
+        kinds = [a[0] for a in actions]
+        if "err" in kinds:
+            sess.set_failure(actions[kinds.index("err")][1])
+            return
+        if all(k == "done" for k in kinds):
+            for r in range(self.nprocs):
+                sess.response[r].write(("all_done", None))
+            return
+        if "done" in kinds:
+            n_done = kinds.count("done")
+            op = next(a[1] for a in actions if a[0] == "coll")
+            sess.set_failure(DeadlockError(
+                f"{self.nprocs - n_done} rank(s) stuck in collective "
+                f"{op!r} after {n_done} rank(s) returned"
+            ))
+            return
+        ops = sorted({a[1] for a in actions})
+        if len(ops) != 1:
+            sess.set_failure(CollectiveMismatchError(
+                f"ranks disagree on the collective for one superstep: {ops}"
+            ))
+            return
+        contribs = [a[6] for a in actions]
+        try:
+            assert execute is not None  # rank 0 posted "coll" too
+            results = execute(contribs)
+        except BaseException as exc:
+            sess.set_failure(_picklable(exc))
+            return
+        sess.stats_queue.put((
+            self._step,
+            actions[0][1],  # op
+            actions[0][2],  # tag (SPMD programs tag uniformly)
+            np.array([a[3] for a in actions], dtype=np.int64),
+            np.array([a[4] for a in actions], dtype=np.float64),
+            np.array([a[5] for a in actions], dtype=np.float64),
+        ))
+        for r, res in enumerate(results):
+            sess.response[r].write(("result", res))
+
+    def close(self) -> None:
+        for slot in (*self._session.request, *self._session.response,
+                     self._session.failure):
+            slot.close()
+
+
+def _rank_process_main(
+    session: _Session,
+    rank: int,
+    meter_compute: bool,
+    fn: Callable[..., Any],
+    args: tuple,
+    rank_args: Optional[Sequence[Sequence[Any]]],
+    kwargs: dict,
+) -> None:
+    from repro.simmpi.comm import SimComm
+
+    endpoint = _RankEndpoint(session, rank, meter_compute)
+    try:
+        comm = SimComm(endpoint, rank)
+        extra = tuple(rank_args[rank]) if rank_args is not None else ()
+        try:
+            result = fn(comm, *extra, *args, **kwargs)
+        except RemoteRankError as exc:
+            final = ("exit-err", _picklable(exc))
+        except BaseException as exc:
+            endpoint.announce_error(exc)
+            final = ("exit-err", _picklable(exc))
+        else:
+            final = ("exit-ok", result)
+            try:
+                endpoint.drain()
+            except RemoteRankError:
+                pass  # a peer failed while we drained; keep our result
+        try:
+            session.request[rank].write(final)
+        except Exception:
+            session.request[rank].write(
+                ("exit-err",
+                 RemoteRankError(f"rank {rank}: unserializable outcome"))
+            )
+    finally:
+        endpoint.close()
+
+
+class ProcsBackend(Backend):
+    """One forked process per rank; payloads in POSIX shared memory."""
+
+    name = "procs"
+
+    def __init__(self, nprocs: int, *, meter_compute: bool = True) -> None:
+        super().__init__(nprocs, meter_compute=meter_compute)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "the 'procs' backend requires the 'fork' start method "
+                "(POSIX); use backend='threads' or 'serial' instead"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+
+    def _run_parallel(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        rank_args: Optional[Sequence[Sequence[Any]]],
+        kwargs: dict,
+    ) -> List[Any]:
+        session = _Session(self._ctx, self.nprocs)
+        try:
+            procs = [
+                self._ctx.Process(
+                    target=_rank_process_main,
+                    args=(session, r, self.meter_compute, fn, args,
+                          rank_args, kwargs),
+                    daemon=True,
+                    name=f"simmpi-proc-{r}",
+                )
+                for r in range(self.nprocs)
+            ]
+            for p in procs:
+                p.start()
+            events = self._supervise(session, procs)
+            for p in procs:
+                p.join()
+            for step, op, tag, nbytes, compute, work in sorted(events):
+                self._record(op, tag, nbytes, compute, work)
+            return self._collect(session, procs)
+        finally:
+            session.teardown()
+
+    def _supervise(self, session: _Session, procs: list) -> list:
+        """Drain the stats channel while children run; break the barrier if
+        a child dies without reporting (so peers error out, not hang)."""
+        events = []
+        aborted = False
+        while True:
+            drained = False
+            while not session.stats_queue.empty():
+                events.append(session.stats_queue.get())
+                drained = True
+            if not any(p.is_alive() for p in procs):
+                break
+            if not aborted and any(
+                p.exitcode not in (0, None) for p in procs
+            ):
+                session.barrier.abort()
+                aborted = True
+            if not drained:
+                time.sleep(0.001)
+        while not session.stats_queue.empty():
+            events.append(session.stats_queue.get())
+        return events
+
+    def _collect(self, session: _Session, procs: list) -> List[Any]:
+        results: List[Any] = [None] * self.nprocs
+        errors: List[Optional[BaseException]] = [None] * self.nprocs
+        for r in range(self.nprocs):
+            outcome: Any = None
+            if procs[r].exitcode == 0:
+                try:
+                    outcome = session.request[r].read(copy=True)
+                except Exception:
+                    outcome = None
+            if not (isinstance(outcome, tuple) and len(outcome) == 2
+                    and outcome[0] in ("exit-ok", "exit-err")):
+                errors[r] = RemoteRankError(
+                    f"rank {r} process died without reporting "
+                    f"(exitcode {procs[r].exitcode})"
+                )
+            elif outcome[0] == "exit-err":
+                errors[r] = outcome[1]
+            else:
+                results[r] = outcome[1]
+        self._raise_collected(errors, session.get_failure())
+        return results

@@ -1,0 +1,200 @@
+"""Serial execution backend: cooperative round-robin superstep interpreter.
+
+Exactly **one rank executes at any instant**.  Rank 0 runs until it deposits
+at its first collective, then hands a baton to rank 1, and so on in strict
+round-robin order; the last depositor executes the collective and the baton
+continues around the ring.  Scheduling is therefore a pure function of the
+program — prints, breakpoints, and profiles are identical run-to-run — which
+makes this the backend of choice for debugging rank code and for minimal
+repro cases.  There is no lock discipline to reason about: the baton *is*
+the schedule, so shared engine state is only ever touched by one runnable
+rank at a time.
+
+Ranks are carried by parked worker threads purely so that ordinary blocking
+rank functions can be suspended mid-call; the threads never run
+concurrently, hence "serial".  Error semantics match the other backends:
+mismatched collectives raise
+:class:`~repro.simmpi.errors.CollectiveMismatchError`, abandoned rendezvous
+raise :class:`~repro.simmpi.errors.DeadlockError`, and a failing rank
+releases the others with :class:`~repro.simmpi.errors.RemoteRankError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.simmpi.backends.base import Backend, _Pending
+from repro.simmpi.errors import (
+    CollectiveMismatchError,
+    DeadlockError,
+    RemoteRankError,
+)
+
+
+class SerialBackend(Backend):
+    """Deterministic single-runner backend with round-robin scheduling."""
+
+    name = "serial"
+
+    def __init__(self, nprocs: int, *, meter_compute: bool = True) -> None:
+        super().__init__(nprocs, meter_compute=meter_compute)
+        self._batons: List[threading.Event] = []
+        self._finished: List[bool] = []
+        self._in_collective: List[bool] = []
+        self._n_finished = 0
+        self._pending: Optional[_Pending] = None
+        self._failure: Optional[BaseException] = None
+
+    # -- the baton ---------------------------------------------------------
+
+    def _pass_baton(self, from_rank: int) -> None:
+        """Hand execution to the next runnable rank after ``from_rank``."""
+        for offset in range(1, self.nprocs + 1):
+            r = (from_rank + offset) % self.nprocs
+            if not self._finished[r] and not self._in_collective[r]:
+                self._batons[r].set()
+                return
+        # No runnable rank left.  If some ranks are still parked inside an
+        # unfinished collective, nobody can ever complete it.
+        if self._pending is not None and self._failure is None:
+            self._fail(DeadlockError(
+                f"{self._pending.arrived} rank(s) parked in collective "
+                f"{self._pending.op!r} with no runnable rank left"
+            ))
+
+    def _wait_baton(self, rank: int) -> None:
+        self._batons[rank].wait()
+        self._batons[rank].clear()
+
+    def _fail(self, exc: BaseException) -> None:
+        """Record the first failure and wake every parked rank."""
+        if self._failure is None:
+            self._failure = exc
+        self._pending = None
+        for ev in self._batons:
+            ev.set()
+
+    # -- rendezvous engine -------------------------------------------------
+
+    def _collective_parallel(
+        self,
+        rank: int,
+        op: str,
+        tag: str,
+        contribution: Any,
+        nbytes_sent: int,
+        execute: Callable[[List[Any]], List[Any]],
+        compute_seconds: float,
+        work_units: float,
+    ) -> Any:
+        if self._failure is not None:
+            raise RemoteRankError(f"rank {rank}: aborted") from self._failure
+        if self._n_finished > 0:
+            exc = DeadlockError(
+                f"rank {rank} entered collective {op!r} but "
+                f"{self._n_finished} rank(s) already returned"
+            )
+            self._fail(exc)
+            raise exc
+
+        if self._pending is None:
+            self._pending = _Pending(self.nprocs, op, tag)
+        pending = self._pending
+        if pending.op != op:
+            exc = CollectiveMismatchError(
+                f"rank {rank} called {op!r} while rank(s) already in "
+                f"{pending.op!r} (tag {pending.tag!r})"
+            )
+            self._fail(exc)
+            raise exc
+
+        pending.contribs[rank] = contribution
+        pending.nbytes[rank] = nbytes_sent
+        pending.compute[rank] = compute_seconds
+        pending.work[rank] = work_units
+        pending.arrived += 1
+        self._in_collective[rank] = True
+
+        if pending.arrived == self.nprocs:
+            try:
+                pending.results = execute(pending.contribs)
+            except BaseException as exc:  # propagate to all ranks
+                self._fail(exc)
+                raise
+            self._record(op, pending.tag, pending.nbytes,
+                         pending.compute, pending.work)
+            self._pending = None
+            for r in range(self.nprocs):
+                self._in_collective[r] = False
+
+        self._pass_baton(rank)
+        self._wait_baton(rank)
+        if self._failure is not None:
+            raise RemoteRankError(f"rank {rank}: aborted") from self._failure
+        assert pending.results is not None
+        return pending.results[rank]
+
+    # -- running SPMD programs ----------------------------------------------
+
+    def _run_parallel(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        rank_args: Optional[Sequence[Sequence[Any]]],
+        kwargs: dict,
+    ) -> List[Any]:
+        from repro.simmpi.comm import SimComm
+
+        n = self.nprocs
+        self._batons = [threading.Event() for _ in range(n)]
+        self._finished = [False] * n
+        self._in_collective = [False] * n
+        self._n_finished = 0
+        self._pending = None
+        self._failure = None
+
+        results: List[Any] = [None] * n
+        errors: List[Optional[BaseException]] = [None] * n
+
+        def worker(rank: int) -> None:
+            self._wait_baton(rank)
+            if self._failure is None:
+                comm = SimComm(self, rank)
+                extra = tuple(rank_args[rank]) if rank_args is not None else ()
+                try:
+                    results[rank] = fn(comm, *extra, *args, **kwargs)
+                except BaseException as exc:
+                    errors[rank] = exc
+                    if not isinstance(exc, RemoteRankError):
+                        self._fail(exc)
+            self._finished[rank] = True
+            self._in_collective[rank] = False
+            self._n_finished += 1
+            if self._failure is None:
+                pending = self._pending
+                if (
+                    pending is not None
+                    and pending.arrived + self._n_finished >= n
+                    and pending.arrived < n
+                ):
+                    self._fail(DeadlockError(
+                        f"{pending.arrived} rank(s) stuck in collective "
+                        f"{pending.op!r} after other ranks returned"
+                    ))
+                else:
+                    self._pass_baton(rank)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,),
+                             name=f"simmpi-serial-rank-{r}")
+            for r in range(n)
+        ]
+        for t in threads:
+            t.start()
+        self._batons[0].set()  # rank 0 opens the round-robin
+        for t in threads:
+            t.join()
+
+        self._raise_collected(errors, self._failure)
+        return results

@@ -22,7 +22,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.simmpi.runtime import Runtime
+from repro.simmpi.backends.base import Backend
 
 _REDUCERS: dict[str, Callable[..., Any]] = {
     "sum": np.add.reduce,
@@ -45,11 +45,15 @@ def _obj_nbytes(obj: Any) -> int:
 class SimComm:
     """Communicator handle passed to every rank function.
 
-    Not thread-safe within a rank (as with real MPI communicators, one
-    rank = one call stream).
+    ``runtime`` is anything satisfying the execution-backend protocol —
+    ``nprocs``, ``meter_compute``, and ``collective(...)`` (see
+    :class:`repro.simmpi.backends.base.Backend`); in the ``procs`` backend
+    it is the rank-side shared-memory endpoint rather than the backend
+    object itself.  Not thread-safe within a rank (as with real MPI
+    communicators, one rank = one call stream).
     """
 
-    def __init__(self, runtime: Runtime, rank: int) -> None:
+    def __init__(self, runtime: Backend, rank: int) -> None:
         self._runtime = runtime
         self.rank = int(rank)
         self.size = runtime.nprocs

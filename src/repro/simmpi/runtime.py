@@ -1,258 +1,38 @@
-"""Bulk-synchronous SPMD runtime for simulated MPI ranks.
+"""Compatibility front door for the execution-backend subsystem.
 
-Each rank runs as a native thread executing the user's rank function with a
-:class:`repro.simmpi.comm.SimComm` handle.  All inter-rank interaction goes
-through *collectives*, implemented as rendezvous points: every rank deposits
-its contribution, the last rank to arrive executes the collective (pure
-NumPy, no further synchronization), and all ranks pick up their results.
+The SPMD engine now lives in :mod:`repro.simmpi.backends`: an abstract
+:class:`~repro.simmpi.backends.base.Backend` (spawn ranks, rendezvous,
+collective compute, teardown) with three interchangeable implementations —
+``serial`` (deterministic round-robin interpreter), ``threads`` (one native
+thread per rank, the historical behaviour), and ``procs`` (one forked
+process per rank over ``multiprocessing.shared_memory``).  Pick one with
+:func:`repro.simmpi.backends.create_runtime`.
 
-Because ranks only mutate rank-local state between rendezvous, the results
-of a run are deterministic and independent of thread scheduling.  Threads
-still buy real parallelism for NumPy-heavy rank code (NumPy releases the
-GIL), and per-rank compute time is measured with ``time.thread_time`` so a
-rank is never charged for time spent blocked.
+This module keeps the original entry points importable:
 
-Misuse that would hang or corrupt a real MPI job is turned into errors:
-
-* ranks calling different collectives at the same superstep →
-  :class:`~repro.simmpi.errors.CollectiveMismatchError`;
-* a rank returning while others wait in a collective →
-  :class:`~repro.simmpi.errors.DeadlockError`;
-* an exception in one rank's code releases all other ranks with
-  :class:`~repro.simmpi.errors.RemoteRankError` and re-raises the original
-  exception from :meth:`Runtime.run`.
+* :class:`Runtime` — **deprecated** alias of
+  :class:`~repro.simmpi.backends.threads.ThreadsBackend`; prefer
+  ``create_runtime("threads", nprocs=...)``.
+* :func:`run_spmd` — one-shot convenience, now with a ``backend`` argument.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.simmpi.errors import (
-    CollectiveMismatchError,
-    DeadlockError,
-    RemoteRankError,
-)
-from repro.simmpi.metrics import CollectiveEvent, CommStats
+from repro.simmpi.backends import Backend, create_runtime
+from repro.simmpi.backends.threads import ThreadsBackend
+from repro.simmpi.metrics import CommStats
 
 
-class _Pending:
-    """State of the collective currently being assembled."""
+class Runtime(ThreadsBackend):
+    """Deprecated alias of the thread-per-rank backend.
 
-    __slots__ = ("op", "tag", "contribs", "nbytes", "compute", "work",
-                 "arrived", "results")
-
-    def __init__(self, nprocs: int, op: str, tag: str) -> None:
-        self.op = op
-        self.tag = tag
-        self.contribs: List[Any] = [None] * nprocs
-        self.nbytes = np.zeros(nprocs, dtype=np.int64)
-        self.compute = np.zeros(nprocs, dtype=np.float64)
-        self.work = np.zeros(nprocs, dtype=np.float64)
-        self.arrived = 0
-        self.results: Optional[List[Any]] = None
-
-
-class Runtime:
-    """Owns the rank threads, the rendezvous engine, and the metering.
-
-    Parameters
-    ----------
-    nprocs:
-        Number of simulated MPI ranks.
-    meter_compute:
-        If False, skip the per-rank ``thread_time`` calls (slightly faster;
-        modeled times then contain only communication terms).
+    Kept so existing imports and subclasses continue to work; new code
+    should call ``create_runtime(backend, nprocs=...)`` and program against
+    the :class:`~repro.simmpi.backends.base.Backend` interface.
     """
-
-    def __init__(self, nprocs: int, *, meter_compute: bool = True) -> None:
-        if nprocs < 1:
-            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
-        self.nprocs = int(nprocs)
-        self.meter_compute = bool(meter_compute)
-        self.stats = CommStats(self.nprocs)
-        self._cond = threading.Condition()
-        self._pending: Optional[_Pending] = None
-        self._generation = 0
-        self._n_finished = 0
-        self._failure: Optional[BaseException] = None
-
-    # -- rendezvous engine -------------------------------------------------
-
-    def _fail(self, exc: BaseException) -> None:
-        """Record the first failure and wake everyone (cond held)."""
-        if self._failure is None:
-            self._failure = exc
-        self._pending = None
-        self._generation += 1
-        self._cond.notify_all()
-
-    def collective(
-        self,
-        rank: int,
-        op: str,
-        tag: str,
-        contribution: Any,
-        nbytes_sent: int,
-        execute: Callable[[List[Any]], List[Any]],
-        compute_seconds: float,
-        work_units: float = 0.0,
-    ) -> Any:
-        """Deposit ``contribution`` for ``op``; block until all ranks match.
-
-        ``execute`` maps the full list of contributions (indexed by rank) to
-        a list of per-rank results; it runs exactly once, in the last
-        arriving rank's thread.  ``nbytes_sent`` is this rank's off-rank
-        payload for the metering convention documented in
-        :mod:`repro.simmpi.metrics`.
-        """
-        if self.nprocs == 1:
-            results = execute([contribution])
-            self.stats.record(
-                CollectiveEvent(
-                    op=op,
-                    tag=tag,
-                    bytes_sent=np.zeros(1, dtype=np.int64),
-                    compute_seconds=np.array([compute_seconds]),
-                    work_units=np.array([work_units]),
-                )
-            )
-            return results[0]
-
-        with self._cond:
-            if self._failure is not None:
-                raise RemoteRankError(f"rank {rank}: aborted") from self._failure
-            if self._n_finished > 0:
-                exc = DeadlockError(
-                    f"rank {rank} entered collective {op!r} but "
-                    f"{self._n_finished} rank(s) already returned"
-                )
-                self._fail(exc)
-                raise exc
-
-            if self._pending is None:
-                self._pending = _Pending(self.nprocs, op, tag)
-            pending = self._pending
-            if pending.op != op:
-                exc = CollectiveMismatchError(
-                    f"rank {rank} called {op!r} while rank(s) already in "
-                    f"{pending.op!r} (tag {pending.tag!r})"
-                )
-                self._fail(exc)
-                raise exc
-
-            pending.contribs[rank] = contribution
-            pending.nbytes[rank] = nbytes_sent
-            pending.compute[rank] = compute_seconds
-            pending.work[rank] = work_units
-            pending.arrived += 1
-            my_generation = self._generation
-
-            if pending.arrived == self.nprocs:
-                try:
-                    pending.results = execute(pending.contribs)
-                except BaseException as exc:  # propagate to all ranks
-                    self._fail(exc)
-                    raise
-                self.stats.record(
-                    CollectiveEvent(
-                        op=op,
-                        tag=tag,
-                        bytes_sent=pending.nbytes,
-                        compute_seconds=pending.compute,
-                        work_units=pending.work,
-                    )
-                )
-                self._pending = None
-                self._generation += 1
-                self._cond.notify_all()
-                return pending.results[rank]
-
-            while self._generation == my_generation and self._failure is None:
-                self._cond.wait()
-            if self._failure is not None:
-                raise RemoteRankError(f"rank {rank}: aborted") from self._failure
-            assert pending.results is not None
-            return pending.results[rank]
-
-    # -- running SPMD programs ----------------------------------------------
-
-    def run(
-        self,
-        fn: Callable[..., Any],
-        *args: Any,
-        rank_args: Optional[Sequence[Sequence[Any]]] = None,
-        **kwargs: Any,
-    ) -> List[Any]:
-        """Run ``fn(comm, *rank_args[r], *args, **kwargs)`` on every rank.
-
-        Returns the list of per-rank return values.  ``args``/``kwargs`` are
-        shared across ranks (treat them as read-only inside ``fn``);
-        ``rank_args`` supplies per-rank positional arguments.
-        """
-        from repro.simmpi.comm import SimComm
-
-        if rank_args is not None and len(rank_args) != self.nprocs:
-            raise ValueError(
-                f"rank_args has {len(rank_args)} entries for {self.nprocs} ranks"
-            )
-        self._n_finished = 0
-        self._failure = None
-        self._pending = None
-
-        results: List[Any] = [None] * self.nprocs
-        errors: List[Optional[BaseException]] = [None] * self.nprocs
-
-        def worker(rank: int) -> None:
-            comm = SimComm(self, rank)
-            extra = tuple(rank_args[rank]) if rank_args is not None else ()
-            try:
-                results[rank] = fn(comm, *extra, *args, **kwargs)
-            except BaseException as exc:
-                errors[rank] = exc
-                with self._cond:
-                    if not isinstance(exc, (RemoteRankError,)):
-                        self._fail(exc)
-            finally:
-                with self._cond:
-                    self._n_finished += 1
-                    pending = self._pending
-                    if (
-                        pending is not None
-                        and pending.arrived + self._n_finished >= self.nprocs
-                        and pending.arrived < self.nprocs
-                        and self._failure is None
-                    ):
-                        self._fail(
-                            DeadlockError(
-                                f"{pending.arrived} rank(s) stuck in collective "
-                                f"{pending.op!r} after other ranks returned"
-                            )
-                        )
-
-        if self.nprocs == 1:
-            worker(0)
-        else:
-            threads = [
-                threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}")
-                for r in range(self.nprocs)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-
-        primary = next((e for e in errors if e is not None
-                        and not isinstance(e, RemoteRankError)), None)
-        if primary is not None:
-            raise primary
-        secondary = next((e for e in errors if e is not None), None)
-        if secondary is not None:
-            raise secondary
-        return results
 
 
 def run_spmd(
@@ -261,12 +41,21 @@ def run_spmd(
     *args: Any,
     rank_args: Optional[Sequence[Sequence[Any]]] = None,
     meter_compute: bool = True,
+    backend: Union[str, None, Backend] = None,
     **kwargs: Any,
 ) -> tuple[List[Any], CommStats]:
     """One-shot convenience: run ``fn`` on ``nprocs`` ranks, return results
-    plus the communication record."""
-    rt = Runtime(nprocs, meter_compute=meter_compute)
-    out = rt.run(fn, *args, rank_args=rank_args, **kwargs)
+    plus the communication record.
+
+    ``backend`` selects the execution backend by name (``serial`` /
+    ``threads`` / ``procs``); None honors ``$REPRO_BACKEND`` and defaults
+    to ``threads``.
+    """
+    rt = create_runtime(backend, nprocs=nprocs, meter_compute=meter_compute)
+    try:
+        out = rt.run(fn, *args, rank_args=rank_args, **kwargs)
+    finally:
+        rt.close()
     return out, rt.stats
 
 

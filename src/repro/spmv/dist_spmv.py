@@ -20,7 +20,7 @@ import numpy as np
 from repro.graph.csr import Graph
 from repro.simmpi.comm import SimComm
 from repro.simmpi.metrics import CommStats
-from repro.simmpi.runtime import Runtime
+from repro.simmpi.backends import Backend, create_runtime
 from repro.simmpi.timing import CLUSTER_LIKE, MachineModel, TimeModel
 from repro.spmv.layout import Layout1D, Layout2D
 
@@ -157,6 +157,7 @@ def run_spmv(
     nprocs: int = 16,
     iters: int = 100,
     machine: MachineModel = CLUSTER_LIKE,
+    backend: Union[str, None, Backend] = None,
 ) -> SpmvResult:
     """Run ``iters`` SpMVs of the graph's adjacency under a layout.
 
@@ -172,13 +173,16 @@ def run_spmv(
     if layout not in ("1d", "2d"):
         raise ValueError("layout must be '1d' or '2d'")
 
-    runtime = Runtime(nprocs, meter_compute=False)
-    t0 = time.perf_counter()
-    if layout == "1d":
-        per_rank = runtime.run(_rank_spmv_1d, graph, distribution, iters)
-    else:
-        per_rank = runtime.run(_rank_spmv_2d, graph, distribution, iters)
-    wall = time.perf_counter() - t0
+    runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False)
+    try:
+        t0 = time.perf_counter()
+        if layout == "1d":
+            per_rank = runtime.run(_rank_spmv_1d, graph, distribution, iters)
+        else:
+            per_rank = runtime.run(_rank_spmv_2d, graph, distribution, iters)
+        wall = time.perf_counter() - t0
+    finally:
+        runtime.close()
 
     y = np.zeros(graph.n, dtype=np.float64)
     for rows, vals in per_rank:
