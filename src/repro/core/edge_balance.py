@@ -18,6 +18,10 @@ w) changes cut sizes by ``ΔSc(x) = 2 n_x − d`` and ``ΔSc(w) = d − 2 n_w``;
 other parts are unchanged.  The (X, Y)-scheduled multiplier throttles all
 three estimates, and per-part admissions are capacity-limited in vertex,
 degree, and cut units (:mod:`repro.core.capacity`).
+
+Both phases sweep the :class:`repro.core.frontier.FrontierSweeper` active
+set: a full first iteration, then only vertices that moved or saw a
+neighbor (owned or ghost) move.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.capacity import enforce_weight_capacity
-from repro.core.exchange import exchange_updates
+from repro.core.frontier import FrontierSweeper
 from repro.core.state import RankState
 from repro.simmpi.comm import SimComm
 
@@ -64,7 +68,7 @@ def _commit(
 def _finish_iteration(
     comm: SimComm,
     state: RankState,
-    moved_all: list[np.ndarray],
+    sweeper: FrontierSweeper,
     Sv: np.ndarray,
     Se: np.ndarray,
     Sc: np.ndarray,
@@ -72,11 +76,7 @@ def _finish_iteration(
     Ce: np.ndarray,
     Cc: np.ndarray,
 ) -> None:
-    updates = (
-        np.concatenate(moved_all) if moved_all else np.empty(0, dtype=np.int64)
-    )
-    state.flush_work(comm)
-    exchange_updates(comm, state.dg, state.parts, updates)
+    sweeper.exchange(comm)
     deltas = comm.Allreduce(np.stack([Cv, Ce, Cc]), op="sum")
     Sv += deltas[0]
     Se += deltas[1]
@@ -102,6 +102,7 @@ def edge_balance_phase(comm: SimComm, state: RankState, iters: int) -> None:
         rc_bias = params.rc_init
         maxv = max(float(Sv.max()), imb_v)
         maxe = max(float(Se.max()), imb_e)
+        sweeper = FrontierSweeper(state, phase="edge_balance")
         for _ in range(iters):
             # ratchet: balancing must not push any maximum above its entry level
             maxv = max(min(maxv, float(Sv.max())), imb_v)
@@ -115,8 +116,7 @@ def edge_balance_phase(comm: SimComm, state: RankState, iters: int) -> None:
             Cv = np.zeros(p, dtype=np.float64)
             Ce = np.zeros(p, dtype=np.float64)
             Cc = np.zeros(p, dtype=np.float64)
-            moved_all: list[np.ndarray] = []
-            for lids, _sl in state.iter_blocks():
+            for lids in sweeper.blocks():
                 est_v = Sv + mult * Cv
                 est_e = Se + mult * Ce
                 est_c = Sc + mult * Cc
@@ -155,9 +155,8 @@ def edge_balance_phase(comm: SimComm, state: RankState, iters: int) -> None:
                     )
                     cand = cand[keep]
                 moved = _commit(state, lids, cand, wsel, plain, Cv, Ce, Cc)
-                if moved.size:
-                    moved_all.append(moved)
-            _finish_iteration(comm, state, moved_all, Sv, Se, Sc, Cv, Ce, Cc)
+                sweeper.note_moves(moved)
+            _finish_iteration(comm, state, sweeper, Sv, Se, Sc, Cv, Ce, Cc)
 
 
 def edge_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
@@ -173,6 +172,11 @@ def edge_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
         Sc = state.compute_cut_sizes(comm).astype(np.float64)
         maxv = max(float(Sv.max()), imb_v)
         maxe = max(float(Se.max()), imb_e)
+        # late full cleanup pass, damped by the remaining active sweeps
+        # (see vertex refinement)
+        sweeper = FrontierSweeper(
+            state, phase="edge_refine", cleanup_iter=max(0, iters - 3)
+        )
         for _ in range(iters):
             # ratchet: the vertex/edge maxima may only tighten
             maxv = max(min(maxv, float(Sv.max())), imb_v)
@@ -182,8 +186,7 @@ def edge_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
             Cv = np.zeros(p, dtype=np.float64)
             Ce = np.zeros(p, dtype=np.float64)
             Cc = np.zeros(p, dtype=np.float64)
-            moved_all: list[np.ndarray] = []
-            for lids, _sl in state.iter_blocks():
+            for lids in sweeper.blocks():
                 est_v = Sv + mult * Cv
                 est_e = Se + mult * Ce
                 est_c = Sc + mult * Cc
@@ -213,6 +216,5 @@ def edge_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
                     keep &= enforce_weight_capacity(wsel[cand], gain, cap_c)
                     cand = cand[keep]
                 moved = _commit(state, lids, cand, wsel, plain, Cv, Ce, Cc)
-                if moved.size:
-                    moved_all.append(moved)
-            _finish_iteration(comm, state, moved_all, Sv, Se, Sc, Cv, Ce, Cc)
+                sweeper.note_moves(moved)
+            _finish_iteration(comm, state, sweeper, Sv, Se, Sc, Cv, Ce, Cc)

@@ -22,12 +22,14 @@ def exchange_updates(
     dg: DistGraph,
     parts: np.ndarray,
     updated_lids: np.ndarray,
-) -> int:
+) -> np.ndarray:
     """Propagate part updates for ``updated_lids`` (owned local ids) and
     apply incoming updates to this rank's ghost entries of ``parts``.
 
-    Returns the number of ghost updates received.  Collective: all ranks
-    must call it each sweep (possibly with empty updates).
+    Returns the local ids of the ghost entries that were updated (each
+    ghost has one owner, so the ids are unique) — the frontier engine
+    seeds the next active set from them.  Collective: all ranks must call
+    it each sweep (possibly with empty updates).
     """
     updated_lids = np.asarray(updated_lids, dtype=np.int64)
     # destination ranks: each updated vertex goes to all its neighbor ranks
@@ -41,8 +43,8 @@ def exchange_updates(
     sendbuf, sendcounts = pack_by_rank(comm.size, dest, (gids, new_parts))
     recvbuf, _ = comm.Alltoallv(sendbuf, sendcounts)
     if recvbuf.size == 0:
-        return 0
+        return np.empty(0, dtype=np.int64)
     rgids, rparts = unpack_fields(recvbuf, 2)
     ghost_lids = dg.ghost_lids(rgids)
     parts[ghost_lids] = rparts
-    return int(rgids.size)
+    return ghost_lids

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,15 @@ class PulpParams:
         weights refresh *between* blocks, approximating the paper's
         asynchronous thread-level updates; smaller blocks ≈ finer-grained
         asynchrony (ablation bench).
+    frontier:
+        Active-set sweep control (:mod:`repro.core.frontier`).  ``True``
+        (default): iteration 0 of every balance/refine phase sweeps all
+        owned vertices, later iterations re-score only vertices that moved
+        or are adjacent to a moved vertex (owned or ghost).  ``False``:
+        legacy full sweeps every iteration.  ``"full"``: run the frontier
+        machinery but re-seed every owned vertex each iteration — a
+        verification mode that must reproduce the legacy path bit-for-bit
+        (enforced by the frontier tests).
     re_init, re_step, rc_init, rc_step:
         Schedule for the edge-balance bias factors (§III.E): ``Re`` grows by
         ``re_step`` per iteration while the edge-balance constraint is
@@ -70,6 +79,7 @@ class PulpParams:
     vert_imbalance: float = 0.10
     edge_imbalance: float = 0.10
     block_size: int = 4096
+    frontier: Union[bool, str] = True
     re_init: float = 1.0
     re_step: float = 1.0
     rc_init: float = 1.0
@@ -89,6 +99,10 @@ class PulpParams:
             raise ValueError("imbalance ratios must be non-negative")
         if self.block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if self.frontier not in (True, False, "full"):
+            raise ValueError(
+                f"frontier must be True, False, or 'full', got {self.frontier!r}"
+            )
         if self.init_strategy not in ("hybrid", "random", "block"):
             raise ValueError(f"unknown init strategy {self.init_strategy!r}")
 

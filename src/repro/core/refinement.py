@@ -10,7 +10,9 @@ improve the worst imbalance — the paper's "without increasing the size of
 any part greater than the current most imbalanced part", made robust
 against the BSP attractor creep that per-iteration recomputation allows.
 Per-part admissions obey the same multiplier-scaled capacity rule as the
-balance phase.
+balance phase.  Sweeps run over the
+:class:`repro.core.frontier.FrontierSweeper` active set (full first
+iteration, moved-or-touched vertices afterwards).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.capacity import enforce_weight_capacity
-from repro.core.exchange import exchange_updates
+from repro.core.frontier import FrontierSweeper
 from repro.core.state import RankState
 from repro.simmpi.comm import SimComm
 
@@ -26,17 +28,22 @@ from repro.simmpi.comm import SimComm
 def vertex_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
     """Run ``iters`` refinement iterations (Algorithm 5)."""
     p = state.num_parts
-    dg = state.dg
     imb_v = state.target_max_vertices
     with comm.phase("vertex_refine"):
         Sv = state.compute_vertex_sizes(comm).astype(np.float64)
         maxv = max(float(Sv.max()), imb_v)
+        # one late exhaustive cleanup pass catches moves the active-set
+        # approximation missed; it sits a few iterations before the end so
+        # the remaining active sweeps damp the simultaneous-move overshoot
+        # a full BSP sweep commits when the state is not yet a fixed point
+        sweeper = FrontierSweeper(
+            state, phase="vertex_refine", cleanup_iter=max(0, iters - 3)
+        )
         for _ in range(iters):
             maxv = max(min(maxv, float(Sv.max())), imb_v)  # ratchet down only
             mult = state.mult(comm)
             Cv = np.zeros(p, dtype=np.float64)
-            moved_all = []
-            for lids, _sl in state.iter_blocks():
+            for lids in sweeper.blocks():
                 est = Sv + mult * Cv
                 vw = state.vweights[lids]
                 _, plain = state.block_part_counts(lids, degree_weighted=False)
@@ -60,13 +67,8 @@ def vertex_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
                     mw = state.vweights[moved]
                     Cv += np.bincount(new, weights=mw, minlength=p)
                     Cv -= np.bincount(old, weights=mw, minlength=p)
-                    moved_all.append(moved)
-            updates = (
-                np.concatenate(moved_all) if moved_all
-                else np.empty(0, dtype=np.int64)
-            )
-            state.flush_work(comm)
-            exchange_updates(comm, dg, state.parts, updates)
+                    sweeper.note_moves(moved)
+            sweeper.exchange(comm)
             Cv_global = comm.Allreduce(Cv, op="sum")
             Sv += Cv_global
             state.iter_tot += 1

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,10 @@ class RankState:
     iter_tot: int = 0
     rng: np.random.Generator = field(init=False)
     work_pending: float = 0.0
+    edges_touched: float = 0.0
+    sweep_log: List[Tuple[str, int, int, int, float]] = field(
+        default_factory=list
+    )
     vweights: np.ndarray = field(init=False)
     global_vweight: float = field(init=False)
 
@@ -111,7 +115,6 @@ class RankState:
         Counting from the owned endpoint of every stored arc credits each
         undirected cut edge once to each of its two endpoint parts.
         """
-        n_local = self.dg.n_local
         comm.charge(self.dg.adj.size)
         local = np.zeros(self.num_parts, dtype=np.int64)
         for lids, _ in self.iter_blocks():
@@ -122,7 +125,6 @@ class RankState:
             p_dst = self.parts[neigh]
             cut = p_src != p_dst
             local += np.bincount(p_src[cut], minlength=self.num_parts)
-        _ = n_local
         return comm.Allreduce(local, op="sum")
 
     # -- block iteration -----------------------------------------------------
@@ -138,7 +140,11 @@ class RankState:
     # -- neighbor-part score matrices -------------------------------------------
 
     def block_part_counts(
-        self, lids: np.ndarray, *, degree_weighted: bool
+        self,
+        lids: np.ndarray,
+        *,
+        degree_weighted: bool,
+        sparse: Optional[bool] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-vertex, per-part neighbor tallies for a block.
 
@@ -146,6 +152,14 @@ class RankState:
         ``degree(u)`` (or 1) over neighbors ``u`` of ``lids[i]`` in part k;
         ``plain`` is always the unweighted tally (needed for cut deltas).
         Neighbors still UNASSIGNED are ignored.
+
+        For large ``num_parts`` the dense ``nb × p`` bincount is mostly
+        zeros (each vertex's neighbors span few parts), so a sparse tally
+        — ``np.unique`` over ``srcs * p + nparts`` keys, counts scattered
+        into the dense result — avoids streaming a huge mostly-zero
+        histogram per pass.  ``sparse=None`` picks by a density heuristic;
+        both paths produce bit-identical matrices (the per-key summation
+        order is preserved by ``unique``'s stable inverse).
         """
         p = self.num_parts
         nb = lids.size
@@ -160,6 +174,27 @@ class RankState:
         # sweep cost: gather + tally passes over the block's edges, plus the
         # per-part weight/cap vector work
         self.work_pending += 2.0 * neigh.size + float(nb) + float(p)
+        self.edges_touched += float(neigh.size)
+        if sparse is None:
+            # sparse pays an O(E log E) sort to skip O(nb * p) histogram
+            # passes; worthwhile once the dense matrix is <1/8 occupied
+            # and wide enough for the difference to matter
+            sparse = p >= 64 and neigh.size * 8 < nb * p
+        if sparse:
+            uniq, inv = np.unique(key, return_inverse=True)
+            plain = np.zeros(nb * p, dtype=np.int64)
+            plain[uniq] = np.bincount(inv, minlength=uniq.size)
+            plain = plain.reshape(nb, p)
+            if degree_weighted:
+                w = self.dg.degrees_full[neigh].astype(np.float64)
+                weighted = np.zeros(nb * p, dtype=np.float64)
+                weighted[uniq] = np.bincount(
+                    inv, weights=w, minlength=uniq.size
+                )
+                weighted = weighted.reshape(nb, p)
+            else:
+                weighted = plain.astype(np.float64)
+            return weighted, plain
         plain = np.bincount(key, minlength=nb * p).reshape(nb, p)
         if degree_weighted:
             w = self.dg.degrees_full[neigh].astype(np.float64)

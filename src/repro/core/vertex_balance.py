@@ -9,6 +9,11 @@ rank may admit at most ``(Imb_v - est_k) / mult`` new vertices into part k
 per sweep; :mod:`repro.core.capacity` enforces exactly that admission rule
 over the vectorized blocks, recovering the paper's per-move atomic-update
 semantics.
+
+Sweeps run over the active set maintained by
+:class:`repro.core.frontier.FrontierSweeper`: after the first iteration of
+a phase only vertices that moved or saw a neighbor move are re-scored
+(``params.frontier`` restores exhaustive sweeps).
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.capacity import enforce_weight_capacity
-from repro.core.exchange import exchange_updates
+from repro.core.frontier import FrontierSweeper
 from repro.core.state import RankState
 from repro.simmpi.comm import SimComm
 
@@ -75,15 +80,17 @@ def vertex_balance_phase(comm: SimComm, state: RankState, iters: int) -> None:
 
         reseed_dead_parts(comm, state)
         Sv = state.compute_vertex_sizes(comm).astype(np.float64)
+        sweeper = FrontierSweeper(state, phase="vertex_balance")
         for _ in range(iters):
             maxv = max(float(Sv.max()), imb_v)
             mult = state.mult(comm)
             Cv = np.zeros(p, dtype=np.float64)
-            moved_all = []
+            # isolated vertices sit outside label propagation (no neighbors
+            # to seed a frontier from), so they are reconsidered every
+            # iteration regardless of the active set
             moved_iso = _rebalance_isolated(state, iso, Sv, Cv, imb_v, mult)
-            if moved_iso.size:
-                moved_all.append(moved_iso)
-            for lids, _sl in state.iter_blocks():
+            sweeper.note_moves(moved_iso)
+            for lids in sweeper.blocks():
                 est = Sv + mult * Cv
                 vw = state.vweights[lids]
                 Wv = np.maximum(imb_v / np.maximum(est, 1.0) - 1.0, 0.0)
@@ -111,13 +118,8 @@ def vertex_balance_phase(comm: SimComm, state: RankState, iters: int) -> None:
                     mw = state.vweights[moved]
                     Cv += np.bincount(new, weights=mw, minlength=p)
                     Cv -= np.bincount(old, weights=mw, minlength=p)
-                    moved_all.append(moved)
-            updates = (
-                np.concatenate(moved_all) if moved_all
-                else np.empty(0, dtype=np.int64)
-            )
-            state.flush_work(comm)
-            exchange_updates(comm, dg, state.parts, updates)
+                    sweeper.note_moves(moved)
+            sweeper.exchange(comm)
             Cv_global = comm.Allreduce(Cv, op="sum")
             Sv += Cv_global
             state.iter_tot += 1

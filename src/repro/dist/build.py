@@ -77,6 +77,30 @@ def _send_rank_lists(
     return sr_offsets, ranks
 
 
+def _ghost_incidence(
+    offsets: np.ndarray,
+    local_adj: np.ndarray,
+    n_local: int,
+    n_ghost: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR transpose of the ghost columns: for each ghost lid, the owned
+    vertices adjacent to it (sorted ascending within each ghost's slice).
+
+    The frontier engine uses this to turn an incoming ghost part update
+    into the set of owned vertices that must re-evaluate their scores —
+    ghosts own no forward CSR row, so the reverse structure is required.
+    """
+    degrees = np.diff(offsets)
+    src = np.repeat(np.arange(n_local, dtype=np.int64), degrees)
+    is_ghost = local_adj >= n_local
+    targets = local_adj[is_ghost] - n_local
+    sources = src[is_ghost]
+    order = np.lexsort((sources, targets))
+    gin_offsets = np.zeros(n_ghost + 1, dtype=np.int64)
+    np.cumsum(np.bincount(targets, minlength=n_ghost), out=gin_offsets[1:])
+    return gin_offsets, sources[order]
+
+
 def build_dist_graph(
     comm: SimComm, graph: Graph, dist: Distribution
 ) -> DistGraph:
@@ -112,6 +136,9 @@ def build_dist_graph(
         sr_offsets, sr_adj = _send_rank_lists(
             comm.size, rank, offsets, local_adj, owned_gids.size, ghost_owners
         )
+        gin_offsets, gin_adj = _ghost_incidence(
+            offsets, local_adj, owned_gids.size, ghost_gids.size
+        )
         # sanity rendezvous: global edge count must be conserved
         total_local = comm.allreduce(int(local_adj.size), op="sum")
         if total_local != graph.num_directed_edges:
@@ -129,6 +156,8 @@ def build_dist_graph(
             degrees_full=degrees_full,
             send_rank_offsets=sr_offsets,
             send_rank_adj=sr_adj,
+            ghost_in_offsets=gin_offsets,
+            ghost_in_adj=gin_adj,
             global_n=graph.n,
             global_m=graph.num_edges,
         )

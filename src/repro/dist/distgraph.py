@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.dist.distribution import Distribution
-from repro.graph.gather import neighbor_gather
+from repro.graph.gather import expand_ranges, neighbor_gather
 
 
 class DistGraph:
@@ -34,6 +34,8 @@ class DistGraph:
         "degrees_full",
         "send_rank_offsets",
         "send_rank_adj",
+        "ghost_in_offsets",
+        "ghost_in_adj",
         "global_n",
         "global_m",
         "dir_out_offsets",
@@ -53,6 +55,8 @@ class DistGraph:
         degrees_full: np.ndarray,
         send_rank_offsets: np.ndarray,
         send_rank_adj: np.ndarray,
+        ghost_in_offsets: np.ndarray,
+        ghost_in_adj: np.ndarray,
         global_n: int,
         global_m: int,
     ) -> None:
@@ -67,6 +71,8 @@ class DistGraph:
         self.degrees_full = degrees_full
         self.send_rank_offsets = send_rank_offsets
         self.send_rank_adj = send_rank_adj
+        self.ghost_in_offsets = ghost_in_offsets
+        self.ghost_in_adj = ghost_in_adj
         self.global_n = int(global_n)
         self.global_m = int(global_m)
         # directed views (filled by repro.analytics.engine.attach_directed)
@@ -75,7 +81,8 @@ class DistGraph:
         self.dir_in_offsets: Optional[np.ndarray] = None
         self.dir_in_adj: Optional[np.ndarray] = None
         for arr in (offsets, adj, l2g, ghost_owners, degrees_full,
-                    send_rank_offsets, send_rank_adj):
+                    send_rank_offsets, send_rank_adj,
+                    ghost_in_offsets, ghost_in_adj):
             arr.setflags(write=False)
 
     # -- id mapping ---------------------------------------------------------
@@ -137,6 +144,20 @@ class DistGraph:
     def boundary_mask(self) -> np.ndarray:
         """Owned vertices with at least one off-rank neighbor."""
         return np.diff(self.send_rank_offsets) > 0
+
+    def ghost_touch_sources(self, ghost_lids: np.ndarray) -> np.ndarray:
+        """Owned vertices adjacent to the given ghost local ids.
+
+        The local CSR has rows only for owned vertices, so reacting to a
+        ghost part update ("which owned vertices must re-evaluate?") needs
+        this reverse ghost→owned incidence, built once at construction
+        time.  Returns the concatenated owned lids (ascending within each
+        ghost's slice; may repeat across ghosts — callers dedupe via masks).
+        """
+        idx = np.asarray(ghost_lids, dtype=np.int64) - self.n_local
+        starts = self.ghost_in_offsets[idx]
+        counts = self.ghost_in_offsets[idx + 1] - starts
+        return self.ghost_in_adj[expand_ranges(starts, counts)]
 
     def __repr__(self) -> str:
         return (

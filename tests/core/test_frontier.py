@@ -1,0 +1,164 @@
+"""Frontier (active-set) sweep engine correctness.
+
+Three guarantees are enforced here:
+
+1. a frontier seeded with *all* vertices every iteration
+   (``frontier="full"``) reproduces the legacy exhaustive-sweep partition
+   bit-for-bit, including the communication record;
+2. the real active-set mode (``frontier=True``, the default) satisfies
+   the same balance constraints as the legacy path, with edge cut within
+   5% (hypothesis property test over random RMAT / Erdős–Rényi graphs);
+3. the ghost→owned reverse incidence matches the forward CSR, and the
+   active set provably shrinks (edges touched drop vs legacy).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PulpParams, xtrapulp
+from repro.core.initialization import initialize
+from repro.core.state import RankState
+from repro.core.vertex_balance import vertex_balance_phase
+from repro.core.refinement import vertex_refine_phase
+from repro.dist import build_dist_graph, make_distribution
+from repro.graph import generators
+from repro.simmpi import Runtime
+
+
+def _run(graph, frontier, *, num_parts=8, nprocs=3, seed=123):
+    return xtrapulp(
+        graph, num_parts, nprocs=nprocs,
+        params=PulpParams(seed=seed, frontier=frontier),
+    )
+
+
+# -- 1. full-frontier bit-identity ------------------------------------------
+
+
+def test_full_frontier_matches_legacy_bit_for_bit():
+    g = generators.rmat(9, avg_degree=8, seed=11)
+    legacy = _run(g, False)
+    full = _run(g, "full")
+    np.testing.assert_array_equal(full.parts, legacy.parts)
+    # the verification mode charges nothing extra either: identical comm
+    # record, hence identical modeled time
+    assert full.stats.bytes_by_tag() == legacy.stats.bytes_by_tag()
+    assert full.stats.work_by_tag() == legacy.stats.work_by_tag()
+    assert full.modeled_seconds == legacy.modeled_seconds
+
+
+def test_frontier_modes_are_deterministic():
+    g = generators.rmat(8, avg_degree=8, seed=5)
+    for mode in (True, False, "full"):
+        a = _run(g, mode)
+        b = _run(g, mode)
+        np.testing.assert_array_equal(a.parts, b.parts)
+        assert a.stats.bytes_by_tag() == b.stats.bytes_by_tag()
+
+
+def test_frontier_param_validation():
+    with pytest.raises(ValueError, match="frontier"):
+        PulpParams(frontier="sometimes")
+
+
+# -- 2. active-set quality stays within tolerance ---------------------------
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(
+    family=st.sampled_from(["rmat", "er"]),
+    scale=st.integers(min_value=9, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_frontier_preserves_balance_and_cut(family, scale, seed):
+    if family == "rmat":
+        g = generators.rmat(scale, avg_degree=8, seed=seed)
+    else:
+        g = generators.erdos_renyi(2**scale, avg_degree=8, seed=seed)
+    p = 8
+    # a single BSP trajectory's cut has seed-to-seed noise comparable to
+    # the tolerance under test at these scales, so compare means over a
+    # few partition seeds — the 5% claim is about the approximation, not
+    # about out-lucking one particular legacy trajectory
+    cut_a = cut_l = 0.0
+    for s in range(seed % 1000, seed % 1000 + 3):
+        active = _run(g, True, num_parts=p, seed=s)
+        legacy = _run(g, False, num_parts=p, seed=s)
+        qa, ql = active.quality(g), legacy.quality(g)
+        cut_a += qa.cut
+        cut_l += ql.cut
+        # same vertex-balance constraint, every run: the active-set run
+        # may not be meaningfully worse-balanced than the exhaustive run
+        # (vertex_balance = max part size / (n/p), 1.10 is the constraint)
+        slack = p / g.n  # one vertex of headroom
+        assert qa.vertex_balance <= max(ql.vertex_balance, 1.10) * 1.02 + slack
+    # edge cut within 5% (the active-set approximation's quality budget)
+    assert cut_a <= cut_l * 1.05 + 8
+
+
+# -- 3. structure + work reduction ------------------------------------------
+
+
+def test_ghost_incidence_matches_forward_adjacency():
+    g = generators.rmat(9, avg_degree=8, seed=3)
+    dist = make_distribution("random", g.n, 3, seed=3)
+
+    def main(comm):
+        dg = build_dist_graph(comm, g, dist)
+        # reverse incidence: for every ghost, its owned neighbors —
+        # rebuilt here by scanning the forward CSR
+        expect = {
+            int(gl): set() for gl in range(dg.n_local, dg.n_total)
+        }
+        for u in range(dg.n_local):
+            for v in dg.neighbors(u):
+                if v >= dg.n_local:
+                    expect[int(v)].add(u)
+        for gl in range(dg.n_local, dg.n_total):
+            got = dg.ghost_touch_sources(np.array([gl], dtype=np.int64))
+            assert set(got.tolist()) == expect[gl]
+            # sorted ascending within each ghost's slice (determinism)
+            assert np.all(np.diff(got) >= 0)
+        return True
+
+    assert all(Runtime(3).run(main))
+
+
+def test_frontier_shrinks_edges_touched():
+    g = generators.rmat(10, avg_degree=8, seed=9)
+    p = 8
+
+    def sweep_edges(frontier):
+        params = PulpParams(seed=7, frontier=frontier)
+        dist = make_distribution("random", g.n, 2, seed=7)
+
+        def main(comm):
+            dg = build_dist_graph(comm, g, dist)
+            state = RankState(dg=dg, num_parts=p, params=params)
+            initialize(comm, state)
+            state.edges_touched = 0.0
+            vertex_balance_phase(comm, state, 5)
+            vertex_refine_phase(comm, state, 10)
+            return state.edges_touched, state.sweep_log
+
+        return Runtime(2).run(main)
+
+    active_runs = sweep_edges(True)
+    legacy_runs = sweep_edges(False)
+    active_total = sum(e for e, _ in active_runs)
+    legacy_total = sum(e for e, _ in legacy_runs)
+    assert active_total < legacy_total
+    for _, log in active_runs:
+        refine = [
+            (a, nl) for ph, _, a, nl, _ in log if ph == "vertex_refine"
+        ]
+        n_local = refine[0][1]
+        # iteration 0 and the late cleanup pass (iters - 3) are exhaustive
+        assert refine[0][0] == n_local
+        assert refine[len(refine) - 3][0] == n_local
+        # the remaining active sweeps shrank well below a full sweep
+        assert min(a for a, _ in refine) < n_local // 2
+    # legacy logs full sweeps every iteration
+    for _, log in legacy_runs:
+        assert all(active == n_local for _, _, active, n_local, _ in log)
