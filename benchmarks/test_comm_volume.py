@@ -1,0 +1,82 @@
+"""Communication volume: compact wire protocol vs the gid64 baseline.
+
+Runs the full XtraPuLP pipeline on the standard bench graphs twice —
+``wire="compact"`` (the default: build-time-routed ghost-slot records in
+the narrowest dtypes) and ``wire="gid64"`` (the paper's 16-byte
+``(gid, part)`` int64 pairs) — and records the metered Alltoallv payload
+bytes per exchange phase.  Acceptance: >=3x reduction in every
+balance/refine phase on every graph, with bit-identical partitions.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable
+from repro.core import PulpParams, xtrapulp
+
+PARTS = 8
+NPROCS = 4
+GRAPHS = ("rmat", "webcrawl")
+PHASES = ("vertex_balance", "vertex_refine", "edge_balance", "edge_refine")
+REDUCTION_FLOOR = 3.0  # acceptance: >=3x smaller exchange payloads
+
+
+def _run(graph, wire, seed=42):
+    return xtrapulp(
+        graph, PARTS, nprocs=NPROCS,
+        params=PulpParams(seed=seed, wire=wire),
+    )
+
+
+def _payload(stats):
+    """Per-phase Alltoallv payload bytes (the ExchangeUpdates wire data;
+    the fixed-size counts Alltoall is identical in both formats)."""
+    per_tag = stats.bytes_by_tag_op()
+    return {ph: per_tag.get(ph, {}).get("alltoallv", 0) for ph in PHASES}
+
+
+def test_comm_volume(benchmark, suite_graph):
+    table = ExperimentTable(
+        "comm_volume",
+        ["graph", "phase", "bytes_gid64", "bytes_compact", "reduction",
+         "exchange_gid64", "exchange_compact"],
+        notes=f"{'/'.join(GRAPHS)}/small, {PARTS} parts on {NPROCS} ranks, "
+              "Alltoallv payload bytes per phase; exchange_* columns add "
+              "the counts Alltoall; TOTAL rows gate the acceptance "
+              f"(>= {REDUCTION_FLOOR}x per phase and overall)",
+    )
+
+    def experiment():
+        out = {}
+        for name in GRAPHS:
+            g = suite_graph(name, "small")
+            out[name] = (_run(g, "compact"), _run(g, "gid64"))
+        return out
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    for name in GRAPHS:
+        compact, legacy = runs[name]
+        # the compact format is an encoding change only: same partition,
+        # same BSP rounds, record for record
+        np.testing.assert_array_equal(compact.parts, legacy.parts)
+        assert compact.stats.rounds == legacy.stats.rounds
+
+        pay_c, pay_l = _payload(compact.stats), _payload(legacy.stats)
+        exch_c = compact.stats.exchange_bytes_by_tag()
+        exch_l = legacy.stats.exchange_bytes_by_tag()
+        for ph in PHASES:
+            ratio = pay_l[ph] / max(pay_c[ph], 1)
+            table.add(name, ph, pay_l[ph], pay_c[ph], round(ratio, 2),
+                      exch_l.get(ph, 0), exch_c.get(ph, 0))
+            assert ratio >= REDUCTION_FLOOR, (
+                f"{name}/{ph}: only {ratio:.2f}x payload reduction"
+            )
+        tot_l, tot_c = sum(pay_l.values()), sum(pay_c.values())
+        total_ratio = tot_l / max(tot_c, 1)
+        table.add(name, "TOTAL", tot_l, tot_c, round(total_ratio, 2),
+                  sum(exch_l.get(ph, 0) for ph in PHASES),
+                  sum(exch_c.get(ph, 0) for ph in PHASES))
+        assert total_ratio >= REDUCTION_FLOOR, (
+            f"{name}: only {total_ratio:.2f}x overall payload reduction"
+        )
+    table.emit()

@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution backend for the simulated ranks "
                              "(default: $REPRO_BACKEND or 'threads'); all "
                              "backends produce identical partitions")
+    parser.add_argument("--wire", choices=["compact", "gid64"],
+                        default="compact",
+                        help="ExchangeUpdates message format: 'compact' "
+                             "ghost-slot records (default) or the paper's "
+                             "64-bit (gid, part) pairs; both produce "
+                             "identical partitions")
     return parser
 
 
@@ -73,6 +79,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         edge_imbalance=args.edge_imbalance,
         single_objective=args.single_objective,
         seed=args.seed,
+        wire=args.wire,
     )
     result = xtrapulp(
         graph, args.parts, nprocs=args.ranks, params=params,

@@ -174,7 +174,9 @@ class FrontierSweeper:
             state.edges_touched - self._edges_mark,
         ))
         state.flush_work(comm)
-        ghost_lids = exchange_updates(comm, self.dg, state.parts, moved)
+        ghost_lids = exchange_updates(
+            comm, self.dg, state.parts, moved, wire=state.wire
+        )
         self._iter += 1
         if self.track:
             if self.force_full:

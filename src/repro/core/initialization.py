@@ -96,6 +96,7 @@ def initialize_hybrid(comm: SimComm, state: RankState) -> None:
     exchange_updates(
         comm, dg, state.parts,
         np.concatenate(updates) if updates else np.empty(0, dtype=np.int64),
+        wire=state.wire,
     )
 
     max_rounds = state.params.max_init_rounds
@@ -110,7 +111,7 @@ def initialize_hybrid(comm: SimComm, state: RankState) -> None:
             state.parts[assigned_now] = chosen[has]
         state.flush_work(comm)
         n_updates = comm.allreduce(int(assigned_now.size), op="sum")
-        exchange_updates(comm, dg, state.parts, assigned_now)
+        exchange_updates(comm, dg, state.parts, assigned_now, wire=state.wire)
         if n_updates == 0:
             break
 
@@ -121,7 +122,7 @@ def initialize_hybrid(comm: SimComm, state: RankState) -> None:
             0, p, size=leftover.size, dtype=np.int64
         )
     # all ranks must join this exchange even with no leftovers
-    exchange_updates(comm, dg, state.parts, leftover)
+    exchange_updates(comm, dg, state.parts, leftover, wire=state.wire)
 
 
 def initialize_random(comm: SimComm, state: RankState) -> None:
@@ -130,7 +131,7 @@ def initialize_random(comm: SimComm, state: RankState) -> None:
     lids = np.arange(dg.n_local, dtype=np.int64)
     state.parts[:] = UNASSIGNED
     state.parts[lids] = state.rng.integers(0, p, size=dg.n_local, dtype=np.int64)
-    exchange_updates(comm, dg, state.parts, lids)
+    exchange_updates(comm, dg, state.parts, lids, wire=state.wire)
 
 
 def initialize_block(comm: SimComm, state: RankState) -> None:
@@ -149,7 +150,7 @@ def initialize_block(comm: SimComm, state: RankState) -> None:
     )
     state.parts[:] = UNASSIGNED
     state.parts[lids] = np.searchsorted(bounds, gids, side="right")
-    exchange_updates(comm, dg, state.parts, lids)
+    exchange_updates(comm, dg, state.parts, lids, wire=state.wire)
 
 
 def reseed_dead_parts(comm: SimComm, state: RankState) -> int:
@@ -199,7 +200,7 @@ def reseed_dead_parts(comm: SimComm, state: RankState) -> int:
         lids = dg.owned_lids(chosen[mine])
         state.parts[lids] = targets[mine]
         moved = lids
-    exchange_updates(comm, dg, state.parts, moved)
+    exchange_updates(comm, dg, state.parts, moved, wire=state.wire)
     return int(targets.size)
 
 
@@ -226,7 +227,7 @@ def initialize_from_parts(
     lids = np.arange(dg.n_local, dtype=np.int64)
     state.parts[:] = UNASSIGNED
     state.parts[lids] = initial_parts[dg.owned_gids]
-    exchange_updates(comm, dg, state.parts, lids)
+    exchange_updates(comm, dg, state.parts, lids, wire=state.wire)
 
 
 def initialize(

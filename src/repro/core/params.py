@@ -48,6 +48,14 @@ class PulpParams:
         machinery but re-seed every owned vertex each iteration — a
         verification mode that must reproduce the legacy path bit-for-bit
         (enforced by the frontier tests).
+    wire:
+        ``ExchangeUpdates`` message format (:mod:`repro.dist.wire`).
+        ``"compact"`` (default): owner-relative ghost-slot addressing in
+        the narrowest sufficient dtypes (4–8 bytes/record, applied on
+        receive by direct indexing); ``"gid64"``: the paper's interleaved
+        64-bit ``(gid, part)`` pairs (16 bytes/record, gid ``searchsorted``
+        on receive) — kept as a bit-identity verification mode, same
+        pattern as ``frontier="full"`` (enforced by the wire tests).
     re_init, re_step, rc_init, rc_step:
         Schedule for the edge-balance bias factors (§III.E): ``Re`` grows by
         ``re_step`` per iteration while the edge-balance constraint is
@@ -80,6 +88,7 @@ class PulpParams:
     edge_imbalance: float = 0.10
     block_size: int = 4096
     frontier: Union[bool, str] = True
+    wire: str = "compact"
     re_init: float = 1.0
     re_step: float = 1.0
     rc_init: float = 1.0
@@ -102,6 +111,10 @@ class PulpParams:
         if self.frontier not in (True, False, "full"):
             raise ValueError(
                 f"frontier must be True, False, or 'full', got {self.frontier!r}"
+            )
+        if self.wire not in ("compact", "gid64"):
+            raise ValueError(
+                f"wire must be 'compact' or 'gid64', got {self.wire!r}"
             )
         if self.init_strategy not in ("hybrid", "random", "block"):
             raise ValueError(f"unknown init strategy {self.init_strategy!r}")

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.core.params import PulpParams
 from repro.dist.distgraph import DistGraph
+from repro.dist.wire import WireSpec, make_wire_spec
 from repro.graph.gather import neighbor_gather_with_sources
 from repro.simmpi.comm import SimComm
 
@@ -39,10 +40,16 @@ class RankState:
     )
     vweights: np.ndarray = field(init=False)
     global_vweight: float = field(init=False)
+    wire: WireSpec = field(init=False)
 
     def __post_init__(self) -> None:
         self.parts = np.full(self.dg.n_total, UNASSIGNED, dtype=np.int64)
         self.rng = np.random.default_rng(self.params.seed + 7919 * self.dg.rank)
+        # resolved from global quantities, so every rank picks the same
+        # record dtypes (a cross-rank invariant of the wire protocol)
+        self.wire = make_wire_spec(
+            self.params.wire, self.dg.max_ghost_global, self.num_parts
+        )
         # unit vertex weights by default; see set_vertex_weights
         self.vweights = np.ones(self.dg.n_local, dtype=np.float64)
         self.global_vweight = float(self.dg.global_n)

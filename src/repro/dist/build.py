@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.dist.distgraph import DistGraph
 from repro.dist.distribution import Distribution
+from repro.dist.packing import bucket_by_rank
 from repro.graph.csr import Graph
 from repro.graph.gather import neighbor_gather
 from repro.simmpi.comm import SimComm
@@ -75,6 +76,36 @@ def _send_rank_lists(
     sr_offsets = np.zeros(n_local + 1, dtype=np.int64)
     np.cumsum(np.bincount(verts, minlength=n_local), out=sr_offsets[1:])
     return sr_offsets, ranks
+
+
+def _ghost_routing(
+    comm: SimComm,
+    ghost_gids: np.ndarray,
+    ghost_owners: np.ndarray,
+    sr_adj: np.ndarray,
+) -> np.ndarray:
+    """One-time collective: learn each send pair's destination ghost slot.
+
+    Every rank tells each ghost's owner *where in its own ghost array* that
+    ghost lives (ghosts grouped owner-major, gid-minor).  The owner's
+    incoming chunk from rank ``r`` is therefore ordered by its owned gids
+    that are ghosts on ``r`` — exactly its ``(vertex, r)`` send pairs in
+    vertex order — so one stable bucketing of ``sr_adj`` aligns the slots
+    with ``send_rank_adj``.  Compact-wire sends then address ghost copies
+    by these precomputed slots instead of 64-bit gids.
+    """
+    order, gcounts = bucket_by_rank(comm.size, ghost_owners)
+    # order[i] is the ghost-array position of the i-th outgoing entry
+    slots_in, _ = comm.Alltoallv(order, gcounts)
+    if slots_in.size != sr_adj.size:
+        raise AssertionError(
+            f"rank {comm.rank}: ghost routing received {slots_in.size} "
+            f"slots for {sr_adj.size} send pairs"
+        )
+    send_ghost_slot = np.empty(sr_adj.size, dtype=np.uint32)
+    perm, _ = bucket_by_rank(comm.size, sr_adj)
+    send_ghost_slot[perm] = slots_in
+    return send_ghost_slot
 
 
 def _ghost_incidence(
@@ -136,6 +167,8 @@ def build_dist_graph(
         sr_offsets, sr_adj = _send_rank_lists(
             comm.size, rank, offsets, local_adj, owned_gids.size, ghost_owners
         )
+        send_ghost_slot = _ghost_routing(comm, ghost_gids, ghost_owners, sr_adj)
+        max_ghost_global = comm.allreduce(int(ghost_gids.size), op="max")
         gin_offsets, gin_adj = _ghost_incidence(
             offsets, local_adj, owned_gids.size, ghost_gids.size
         )
@@ -156,6 +189,8 @@ def build_dist_graph(
             degrees_full=degrees_full,
             send_rank_offsets=sr_offsets,
             send_rank_adj=sr_adj,
+            send_ghost_slot=send_ghost_slot,
+            max_ghost_global=max_ghost_global,
             ghost_in_offsets=gin_offsets,
             ghost_in_adj=gin_adj,
             global_n=graph.n,

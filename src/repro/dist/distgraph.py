@@ -34,6 +34,8 @@ class DistGraph:
         "degrees_full",
         "send_rank_offsets",
         "send_rank_adj",
+        "send_ghost_slot",
+        "max_ghost_global",
         "ghost_in_offsets",
         "ghost_in_adj",
         "global_n",
@@ -55,6 +57,8 @@ class DistGraph:
         degrees_full: np.ndarray,
         send_rank_offsets: np.ndarray,
         send_rank_adj: np.ndarray,
+        send_ghost_slot: np.ndarray,
+        max_ghost_global: int,
         ghost_in_offsets: np.ndarray,
         ghost_in_adj: np.ndarray,
         global_n: int,
@@ -71,6 +75,15 @@ class DistGraph:
         self.degrees_full = degrees_full
         self.send_rank_offsets = send_rank_offsets
         self.send_rank_adj = send_rank_adj
+        #: Compact-wire routing table, aligned with ``send_rank_adj``:
+        #: entry ``i`` is the *destination rank's* ghost slot index of this
+        #: vertex (position in that rank's gid-sorted ghost array), learned
+        #: by a one-time build exchange.  A receiver applies an update with
+        #: ``parts[n_local + slot] = part`` — no gid lookup per exchange.
+        self.send_ghost_slot = send_ghost_slot
+        #: Max ghost count over all ranks (Allreduced once at build);
+        #: bounds every slot index, so it fixes the compact slot dtype.
+        self.max_ghost_global = int(max_ghost_global)
         self.ghost_in_offsets = ghost_in_offsets
         self.ghost_in_adj = ghost_in_adj
         self.global_n = int(global_n)
@@ -81,7 +94,7 @@ class DistGraph:
         self.dir_in_offsets: Optional[np.ndarray] = None
         self.dir_in_adj: Optional[np.ndarray] = None
         for arr in (offsets, adj, l2g, ghost_owners, degrees_full,
-                    send_rank_offsets, send_rank_adj,
+                    send_rank_offsets, send_rank_adj, send_ghost_slot,
                     ghost_in_offsets, ghost_in_adj):
             arr.setflags(write=False)
 

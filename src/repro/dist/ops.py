@@ -16,6 +16,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.dist.distgraph import DistGraph
+from repro.dist.packing import bucket_by_rank
 from repro.graph.gather import neighbor_gather
 from repro.simmpi.comm import SimComm
 
@@ -40,13 +41,12 @@ class ExchangePlan:
         self.dg = dg
         nprocs = comm.size
         with comm.phase("plan"):
-            # ghosts grouped by owner (owner-major, gid-minor)
-            order = np.lexsort((dg.ghost_gids, dg.ghost_owners))
-            self.recv_lids = order.astype(np.int64) + dg.n_local
+            # ghosts grouped by owner (owner-major, gid-minor: ghost gids
+            # are pre-sorted, so the stable O(n) bucketing reproduces the
+            # old lexsort order exactly)
+            order, self.recv_counts = bucket_by_rank(nprocs, dg.ghost_owners)
+            self.recv_lids = order + dg.n_local
             gids_sorted = dg.ghost_gids[order]
-            self.recv_counts = np.bincount(
-                dg.ghost_owners, minlength=nprocs
-            ).astype(np.int64)
             # one-time gid round-trip tells each owner what to send where
             requested, req_counts = comm.Alltoallv(gids_sorted, self.recv_counts)
             self.send_lids = dg.owned_lids(requested)

@@ -42,6 +42,30 @@ def _obj_nbytes(obj: Any) -> int:
         return 64  # unpicklable oddity; charge a token amount
 
 
+def _common_dtype(bufs: Sequence[np.ndarray], what: str) -> Optional[np.dtype]:
+    """The single dtype of the non-empty buffers in ``bufs`` (None if all
+    are empty).  Zero-length contributions are dtype-exempt: no data of
+    theirs moves, so they cannot cause a silent upcast — only ranks that
+    actually inject payload must agree."""
+    dtypes = {b.dtype for b in bufs if b.size}
+    if len(dtypes) > 1:
+        raise ValueError(f"{what} dtype mismatch across ranks: {dtypes}")
+    return dtypes.pop() if dtypes else None
+
+
+def _merge_pieces(
+    pieces: Sequence[np.ndarray], fallback: np.dtype
+) -> np.ndarray:
+    """Concatenate per-source slices, skipping empties so a zero-length
+    contribution's dtype never promotes the result."""
+    live = [p for p in pieces if p.size]
+    if not live:
+        return np.empty(0, dtype=fallback)
+    if len(live) == 1:
+        return live[0].copy()
+    return np.concatenate(live)
+
+
 class SimComm:
     """Communicator handle passed to every rank function.
 
@@ -346,11 +370,7 @@ class SimComm:
             nprocs = len(contribs)
             bufs = [c[0] for c in contribs]
             counts = [c[1] for c in contribs]
-            dtypes = {b.dtype for b in bufs}
-            if len(dtypes) > 1:
-                raise ValueError(
-                    f"Alltoallv dtype mismatch across ranks: {dtypes}"
-                )
+            wire_dtype = _common_dtype(bufs, "Alltoallv")
             send_offsets = []
             for c in counts:
                 off = np.zeros(nprocs + 1, dtype=np.int64)
@@ -363,10 +383,8 @@ class SimComm:
                     for src in range(nprocs)
                 ]
                 rc = np.array([p.shape[0] for p in pieces], dtype=np.int64)
-                merged = (
-                    np.concatenate(pieces) if rc.sum() else bufs[dst][:0].copy()
-                )
-                results.append((merged, rc))
+                fallback = wire_dtype if wire_dtype is not None else bufs[dst].dtype
+                results.append((_merge_pieces(pieces, fallback), rc))
             return results
 
         recvbuf, rcounts = self._collective(
@@ -376,6 +394,94 @@ class SimComm:
         if not np.array_equal(rcounts, recvcounts):
             raise AssertionError("Alltoallv internal count mismatch")
         return recvbuf, rcounts
+
+    def Alltoallv_fields(
+        self, fields: Sequence[np.ndarray], sendcounts: np.ndarray
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Variable-count all-to-all of a multi-field record batch.
+
+        The compact wire primitive: a record is one entry from each array
+        in ``fields`` (struct-of-arrays — every field keeps its own,
+        possibly narrow, dtype), ``sendcounts[r]`` *records* go to rank
+        ``r``, and all fields share the destination grouping (use
+        :func:`repro.dist.packing.pack_fields_by_rank`).  Returns
+        ``(recv_fields, recvcounts)`` with each field's pieces ordered by
+        source rank and ``recvcounts`` in records.
+
+        Metered as one ``alltoallv`` event of the *true* wire size: the
+        off-rank record count times the summed field itemsizes — no
+        int64 inflation of narrow fields.  Zero-length contributions are
+        dtype-exempt, as in :meth:`Alltoallv`.
+        """
+        bufs = tuple(np.ascontiguousarray(f) for f in fields)
+        if not bufs:
+            raise ValueError("Alltoallv_fields needs at least one field")
+        nrec = bufs[0].shape[0]
+        for b in bufs:
+            if b.ndim != 1:
+                raise ValueError("Alltoallv_fields expects 1-D field arrays")
+            if b.shape[0] != nrec:
+                raise ValueError("Alltoallv_fields fields must be equal-length")
+        cts = np.asarray(sendcounts, dtype=np.int64)
+        if cts.shape != (self.size,):
+            raise ValueError(
+                f"sendcounts must have shape ({self.size},), got {cts.shape}"
+            )
+        if cts.sum() != nrec:
+            raise ValueError(
+                f"sendcounts sum {cts.sum()} != record count {nrec}"
+            )
+        recvcounts = self.Alltoall(cts)
+        record_bytes = sum(b.itemsize for b in bufs)
+        offrank = int((nrec - cts[self.rank]) * record_bytes)
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            nprocs = len(contribs)
+            all_bufs = [c[0] for c in contribs]
+            counts = [c[1] for c in contribs]
+            widths = {len(b) for b in all_bufs}
+            if len(widths) > 1:
+                raise ValueError(
+                    f"Alltoallv_fields field-count mismatch across ranks: "
+                    f"{sorted(widths)}"
+                )
+            k = widths.pop()
+            wire_dtypes = [
+                _common_dtype([b[j] for b in all_bufs], "Alltoallv_fields")
+                for j in range(k)
+            ]
+            send_offsets = []
+            for c in counts:
+                off = np.zeros(nprocs + 1, dtype=np.int64)
+                np.cumsum(c, out=off[1:])
+                send_offsets.append(off)
+            results = []
+            for dst in range(nprocs):
+                lo = [send_offsets[src][dst] for src in range(nprocs)]
+                hi = [send_offsets[src][dst + 1] for src in range(nprocs)]
+                rc = np.array(
+                    [h - l for l, h in zip(lo, hi)], dtype=np.int64
+                )
+                merged = []
+                for j in range(k):
+                    fallback = (
+                        wire_dtypes[j] if wire_dtypes[j] is not None
+                        else all_bufs[dst][j].dtype
+                    )
+                    merged.append(_merge_pieces(
+                        [all_bufs[src][j][lo[src]:hi[src]]
+                         for src in range(nprocs)],
+                        fallback,
+                    ))
+                results.append((merged, rc))
+            return results
+
+        recv_fields, rcounts = self._collective(
+            "alltoallv", (bufs, cts), offrank, execute
+        )
+        if not np.array_equal(rcounts, recvcounts):
+            raise AssertionError("Alltoallv_fields internal count mismatch")
+        return recv_fields, rcounts
 
     # -- scans -----------------------------------------------------------------
 

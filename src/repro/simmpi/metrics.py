@@ -118,6 +118,29 @@ class CommStats:
             out[e.tag] = out.get(e.tag, 0) + e.total_bytes
         return out
 
+    def bytes_by_tag_op(self) -> Dict[str, Dict[str, int]]:
+        """Per-phase wire-byte breakdown: ``{tag: {op: bytes}}``.
+
+        The wire-format work lives here: the ghost-update payloads are the
+        ``alltoallv`` entries of the balance/refine tags, so a format
+        change shows up directly in this view while the (format-invariant)
+        count exchanges and size Allreduces stay put in theirs.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for e in self.events:
+            per_op = out.setdefault(e.tag, {})
+            per_op[e.op] = per_op.get(e.op, 0) + e.total_bytes
+        return out
+
+    def exchange_bytes_by_tag(self) -> Dict[str, int]:
+        """Per-phase bytes of the data-exchange collectives only
+        (``alltoall`` + ``alltoallv`` — Algorithm 3's two rounds)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            if e.op in ("alltoall", "alltoallv"):
+                out[e.tag] = out.get(e.tag, 0) + e.total_bytes
+        return out
+
     @property
     def total_work(self) -> float:
         """Sum over supersteps of the *max* per-rank work units — the

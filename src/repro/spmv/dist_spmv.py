@@ -17,6 +17,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.dist.packing import bucket_by_rank
 from repro.graph.csr import Graph
 from repro.simmpi.comm import SimComm
 from repro.simmpi.metrics import CommStats
@@ -63,8 +64,9 @@ def _value_plan(
     Returns (recv_order, recv_counts, send_idx, send_counts) where
     ``recv_order`` permutes ``need_gids`` into arrival order.
     """
-    order = np.lexsort((need_gids, need_owner))
-    counts = np.bincount(need_owner, minlength=comm.size).astype(np.int64)
+    # owner-major grouping via the O(n) stable bucketing; ``need_gids`` is
+    # ascending (np.unique-derived), so this matches the old lexsort order
+    order, counts = bucket_by_rank(comm.size, need_owner)
     requested, req_counts = comm.Alltoallv(need_gids[order], counts)
     send_idx = np.searchsorted(my_index_of, requested)
     if requested.size and (
@@ -117,10 +119,9 @@ def _rank_spmv_2d(
         # fold plan: my partial rows go to their y owners.  One gid
         # round-trip at setup tells each owner where to accumulate.
         away = np.flatnonzero(layout.y_owner != comm.rank)
-        fold_order = np.lexsort((layout.row_gids[away], layout.y_owner[away]))
-        fold_counts = np.bincount(
-            layout.y_owner[away], minlength=comm.size
-        ).astype(np.int64)
+        fold_order, fold_counts = bucket_by_rank(
+            comm.size, layout.y_owner[away]
+        )
         incoming_gids, in_counts = comm.Alltoallv(
             layout.row_gids[away][fold_order], fold_counts
         )

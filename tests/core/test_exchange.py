@@ -6,8 +6,10 @@ import pytest
 from repro.core.exchange import exchange_updates
 from repro.dist import build_dist_graph, make_distribution
 from repro.dist.packing import (
+    bucket_by_rank,
     counts_to_record_ranges,
     pack_by_rank,
+    pack_fields_by_rank,
     unpack_fields,
 )
 from repro.graph import ring, rmat
@@ -35,6 +37,28 @@ def test_pack_unpack_roundtrip():
     np.testing.assert_array_equal(fields[1], b[order])
     starts, stops = counts_to_record_ranges(counts, 2)
     np.testing.assert_array_equal(stops - starts, [1, 2, 2])
+
+
+def test_bucket_by_rank_matches_stable_argsort():
+    rng = np.random.default_rng(0)
+    for nprocs in (1, 3, 300):  # 300 exercises the uint16 key path
+        dest = rng.integers(0, nprocs, size=500)
+        order, counts = bucket_by_rank(nprocs, dest)
+        np.testing.assert_array_equal(order, np.argsort(dest, kind="stable"))
+        np.testing.assert_array_equal(counts, np.bincount(dest, minlength=nprocs))
+    with pytest.raises(ValueError):
+        bucket_by_rank(2, np.array([0, 2]))
+
+
+def test_pack_fields_by_rank_preserves_dtypes():
+    dest = np.array([1, 0, 1, 0])
+    slots = np.array([9, 8, 7, 6], dtype=np.uint16)
+    parts = np.array([1, 2, 3, 4], dtype=np.int16)
+    (ps, pp), counts = pack_fields_by_rank(2, dest, (slots, parts))
+    assert ps.dtype == np.uint16 and pp.dtype == np.int16
+    np.testing.assert_array_equal(counts, [2, 2])  # records, not elements
+    np.testing.assert_array_equal(ps, [8, 6, 9, 7])
+    np.testing.assert_array_equal(pp, [2, 4, 1, 3])
 
 
 def test_pack_validation():

@@ -1,0 +1,113 @@
+"""Wire-format equivalence: ``wire="compact"`` vs the paper's gid64 format.
+
+The compact protocol replaces ExchangeUpdates' 16-byte ``(gid, part)``
+int64 pairs with build-time-routed ``(ghost slot, part)`` records in the
+narrowest dtypes the global graph admits.  It is a pure encoding change:
+the same records travel in the same order, so partitions, quality, and
+the BSP round structure must be bit-identical on every backend — while
+the metered payload bytes shrink by the dtype ratio.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PulpParams, xtrapulp
+from repro.dist.wire import WIRE_FORMATS, make_wire_spec
+from repro.graph import generators
+
+BACKENDS = ("serial", "threads", "procs")
+
+
+def _run(graph, wire, *, backend="serial", num_parts=8, nprocs=4, seed=123):
+    return xtrapulp(
+        graph, num_parts, nprocs=nprocs,
+        params=PulpParams(seed=seed, wire=wire),
+        backend=backend,
+    )
+
+
+def _payload_bytes(stats):
+    """Alltoallv payload bytes over the four exchange-heavy phases."""
+    per_tag = stats.bytes_by_tag_op()
+    return sum(
+        per_tag.get(tag, {}).get("alltoallv", 0)
+        for tag in ("vertex_balance", "vertex_refine",
+                    "edge_balance", "edge_refine")
+    )
+
+
+# -- spec construction -------------------------------------------------------
+
+
+def test_make_wire_spec_narrows_dtypes():
+    spec = make_wire_spec("compact", max_ghost_global=1000, num_parts=16)
+    assert spec.slot_dtype == np.uint16 and spec.part_dtype == np.int16
+    assert spec.bytes_per_record == 4
+    wide = make_wire_spec("compact", max_ghost_global=2**20, num_parts=2**20)
+    assert wide.slot_dtype == np.uint32 and wide.part_dtype == np.int32
+    assert wide.bytes_per_record == 8
+    legacy = make_wire_spec("gid64", max_ghost_global=1000, num_parts=16)
+    assert not legacy.compact and legacy.bytes_per_record == 16
+
+
+def test_make_wire_spec_validates_mode():
+    with pytest.raises(ValueError, match="wire"):
+        make_wire_spec("tight", max_ghost_global=10, num_parts=4)
+    assert WIRE_FORMATS == ("compact", "gid64")
+
+
+def test_wire_param_validation():
+    with pytest.raises(ValueError, match="wire"):
+        PulpParams(wire="sometimes")
+
+
+# -- bit-identity on every backend -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compact_matches_gid64_bit_for_bit(backend):
+    g = generators.rmat(9, avg_degree=8, seed=11)
+    compact = _run(g, "compact", backend=backend)
+    legacy = _run(g, "gid64", backend=backend)
+    np.testing.assert_array_equal(compact.parts, legacy.parts)
+    qc, ql = compact.quality(g), legacy.quality(g)
+    assert qc.cut == ql.cut
+    assert qc.vertex_balance == ql.vertex_balance
+    assert qc.edge_balance == ql.edge_balance
+    # same BSP structure: every collective fired the same number of times
+    assert compact.stats.rounds == legacy.stats.rounds
+    # ... but the compact payload is strictly smaller on the wire
+    assert _payload_bytes(compact.stats) < _payload_bytes(legacy.stats)
+
+
+def test_backends_agree_under_compact_wire():
+    g = generators.rmat(9, avg_degree=8, seed=17)
+    runs = [_run(g, "compact", backend=b) for b in BACKENDS]
+    for other in runs[1:]:
+        np.testing.assert_array_equal(other.parts, runs[0].parts)
+        assert other.stats.bytes_by_tag() == runs[0].stats.bytes_by_tag()
+
+
+# -- property test over random graphs ----------------------------------------
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(
+    family=st.sampled_from(["rmat", "er"]),
+    scale=st.integers(min_value=8, max_value=10),
+    nprocs=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_wire_formats_equivalent_property(family, scale, nprocs, seed):
+    if family == "rmat":
+        g = generators.rmat(scale, avg_degree=8, seed=seed)
+    else:
+        g = generators.erdos_renyi(2**scale, avg_degree=8, seed=seed)
+    compact = _run(g, "compact", nprocs=nprocs, seed=seed % 997)
+    legacy = _run(g, "gid64", nprocs=nprocs, seed=seed % 997)
+    np.testing.assert_array_equal(compact.parts, legacy.parts)
+    qc, ql = compact.quality(g), legacy.quality(g)
+    assert (qc.cut, qc.vertex_balance, qc.edge_balance) == (
+        ql.cut, ql.vertex_balance, ql.edge_balance
+    )

@@ -117,3 +117,29 @@ def test_repr():
     g = ring(8)
     dgs, _ = build_all(g, 2, "block")
     assert "rank=0/2" in repr(dgs[0])
+
+
+@pytest.mark.parametrize("kind", ["block", "random"])
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_ghost_routing_table(kind, nprocs):
+    """Every (vertex, rank) send pair's precomputed slot addresses exactly
+    the destination rank's ghost copy of that vertex."""
+    g = rmat(8, 10, seed=9)
+    dgs, _ = build_all(g, nprocs, kind, seed=4)
+    for dg in dgs:
+        assert dg.send_ghost_slot.dtype == np.uint32
+        assert dg.send_ghost_slot.shape == dg.send_rank_adj.shape
+        for lid in range(dg.n_local):
+            lo, hi = dg.send_rank_offsets[lid], dg.send_rank_offsets[lid + 1]
+            for r, slot in zip(dg.send_rank_adj[lo:hi],
+                               dg.send_ghost_slot[lo:hi]):
+                peer = dgs[r]
+                assert peer.ghost_gids[slot] == dg.l2g[lid]
+                assert peer.ghost_owners[slot] == dg.rank
+
+
+def test_max_ghost_global_is_global_max():
+    g = rmat(8, 10, seed=9)
+    dgs, _ = build_all(g, 3, "random", seed=4)
+    true_max = max(dg.n_ghost for dg in dgs)
+    assert all(dg.max_ghost_global == true_max for dg in dgs)
