@@ -1,0 +1,88 @@
+"""Checkpointing overhead: modeled cost of the checkpoint collectives.
+
+Runs the full pipeline with checkpointing off / every outer iteration /
+every phase and measures (a) the modeled time of the ``checkpoint``-tagged
+events against the modeled partitioning time, and (b) the bytes the
+checkpoint collectives move against the partitioning traffic.  Acceptance:
+at the default ``outer`` granularity the modeled overhead stays under
+``OVERHEAD_CEILING`` of the modeled partition time — checkpointing must be
+cheap enough to leave on.
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.bench import ExperimentTable
+from repro.core import PulpParams, xtrapulp
+from repro.core.driver import PARTITION_PHASES
+from repro.ft import CkptPolicy
+from repro.simmpi.timing import TimeModel
+
+PARTS = 8
+NPROCS = 4
+GRAPHS = ("rmat", "webcrawl")
+OVERHEAD_CEILING = 0.10  # modeled checkpoint time / partition time, "outer"
+
+
+def _run(graph, every, ckpt_dir):
+    params = PulpParams(seed=42)
+    checkpoint = (
+        None if every is None else CkptPolicy(dir=ckpt_dir, every=every)
+    )
+    return xtrapulp(graph, PARTS, nprocs=NPROCS, params=params,
+                    backend="serial", checkpoint=checkpoint)
+
+
+def test_ft_overhead(benchmark, suite_graph):
+    table = ExperimentTable(
+        "ft_overhead",
+        ["graph", "every", "epochs", "ckpt_bytes", "part_bytes",
+         "ckpt_seconds", "part_seconds", "overhead"],
+        notes=f"{'/'.join(GRAPHS)}/small, {PARTS} parts on {NPROCS} ranks; "
+              "overhead = modeled checkpoint time / modeled partition time "
+              f"(acceptance at every=outer: < {OVERHEAD_CEILING:.0%})",
+    )
+
+    def experiment():
+        out = {}
+        for name in GRAPHS:
+            g = suite_graph(name, "small")
+            runs = {}
+            for every in (None, "outer", "phase"):
+                with tempfile.TemporaryDirectory() as d:
+                    runs[every] = _run(g, every, d)
+            out[name] = runs
+        return out
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    overheads = {}
+    for name in GRAPHS:
+        baseline = runs[name][None]
+        for every in (None, "outer", "phase"):
+            res = runs[name][every]
+            model = TimeModel(res.machine)
+            ckpt = res.stats.filtered(["checkpoint"])
+            part = res.stats.filtered(PARTITION_PHASES)
+            ckpt_s = model.total_time(ckpt)
+            part_s = model.total_time(part)
+            overhead = ckpt_s / part_s
+            table.add(name, every or "off", len(ckpt.events),
+                      int(ckpt.total_bytes), int(part.total_bytes),
+                      round(ckpt_s, 6), round(part_s, 6),
+                      round(overhead, 4))
+            if every == "outer":
+                overheads[name] = overhead
+            # checkpointing must not perturb the partition itself
+            assert np.array_equal(res.parts, baseline.parts)
+            # ...or the partition-phase record it is measured against
+            assert part.signature() == \
+                baseline.stats.filtered(PARTITION_PHASES).signature()
+    table.emit()
+
+    for name, o in overheads.items():
+        assert o < OVERHEAD_CEILING, (
+            f"{name}: checkpoint overhead {o:.1%} exceeds "
+            f"{OVERHEAD_CEILING:.0%} of modeled partition time"
+        )

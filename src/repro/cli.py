@@ -3,6 +3,13 @@
 Reads a graph (edge-list, METIS, or ``.npz``), partitions it with
 XtraPuLP, prints the quality report, and optionally writes the part
 assignment (one part id per line, vertex order).
+
+Fault tolerance: ``--checkpoint-dir`` snapshots the run at phase
+boundaries (``--checkpoint-every`` picks the granularity) and ``--resume``
+restarts a killed run from its last committed epoch, bit-identically.
+Exit codes distinguish the outcomes (see ``--help`` epilog):
+0 success, 1 run failed, 2 usage/input error, 3 run failed but a committed
+checkpoint is available for ``--resume``, 4 success after resuming.
 """
 
 from __future__ import annotations
@@ -17,6 +24,14 @@ from repro.core import PulpParams, xtrapulp
 from repro.graph import io
 from repro.simmpi import available_backends
 
+#: Exit codes (documented in ``--help``): distinct values let wrapper
+#: scripts drive the retry loop (`re-exec with --resume` on 3).
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_FAILED_CKPT = 3
+EXIT_RESUMED = 4
+
 
 def _load_graph(path: str):
     if path.endswith(".npz"):
@@ -30,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="XtraPuLP graph partitioner (paper reproduction)",
+        epilog=(
+            "exit codes: 0 partitioned successfully; 1 run failed; "
+            "2 usage or input error; 3 run failed but a committed "
+            "checkpoint epoch is available (re-run with --resume); "
+            "4 partitioned successfully after resuming from a checkpoint"
+        ),
     )
     parser.add_argument("graph", help="edge list (.txt), METIS (.metis/.graph), or .npz")
     parser.add_argument("-p", "--parts", type=int, default=16,
@@ -58,6 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "ghost-slot records (default) or the paper's "
                              "64-bit (gid, part) pairs; both produce "
                              "identical partitions")
+    ft = parser.add_argument_group("fault tolerance")
+    ft.add_argument("--checkpoint-dir", metavar="DIR",
+                    help="checkpoint the run into DIR at phase boundaries; "
+                         "each epoch is committed atomically and a crashed "
+                         "run exits 3 when one is available to --resume")
+    ft.add_argument("--checkpoint-every", choices=["outer", "phase", "off"],
+                    default="outer",
+                    help="checkpoint granularity: after each outer "
+                         "iteration (default), after every phase, or off")
+    ft.add_argument("--resume", metavar="PATH",
+                    help="resume from a run directory (latest committed "
+                         "epoch) or a specific epoch_NNNN directory; the "
+                         "resumed run is bit-identical to an uninterrupted "
+                         "one and exits 4 on success")
+    ft.add_argument("--inject-fault", metavar="RANK:PHASE:STEP[:ACTION]",
+                    help="plant a deterministic fault (testing): the given "
+                         "rank fails at the given collective index of the "
+                         "given phase; ACTION is raise (default), die "
+                         "(hard process kill, procs backend), or delay")
     return parser
 
 
@@ -67,12 +107,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         graph = _load_graph(args.graph)
     except Exception as exc:
         print(f"error reading {args.graph}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(f"loaded {graph}")
     if args.parts < 1 or args.parts > graph.n:
         print(f"error: cannot cut {graph.n} vertices into {args.parts} parts",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     params = PulpParams(
         init_strategy=args.init,
         vert_imbalance=args.vert_imbalance,
@@ -81,10 +121,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         wire=args.wire,
     )
-    result = xtrapulp(
-        graph, args.parts, nprocs=args.ranks, params=params,
-        distribution=args.distribution, backend=args.backend,
-    )
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.ft import CkptPolicy
+
+        checkpoint = CkptPolicy(
+            dir=args.checkpoint_dir, every=args.checkpoint_every
+        )
+    fault_plan = None
+    if args.inject_fault:
+        from repro.ft import FaultPlan, parse_fault_spec
+
+        try:
+            fault_plan = FaultPlan([parse_fault_spec(args.inject_fault)])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        result = xtrapulp(
+            graph, args.parts, nprocs=args.ranks, params=params,
+            distribution=args.distribution, backend=args.backend,
+            checkpoint=checkpoint, resume=args.resume,
+            fault_plan=fault_plan,
+        )
+    except Exception as exc:
+        from repro.ft import CheckpointError
+        from repro.simmpi.errors import RankFailure
+
+        if isinstance(exc, CheckpointError):
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if isinstance(exc, RankFailure):
+            print(f"error: {exc}", file=sys.stderr)
+            if exc.run_dir is not None and exc.epoch is not None:
+                print(f"resume with: --resume {exc.run_dir}", file=sys.stderr)
+                return EXIT_FAILED_CKPT
+            return EXIT_FAILED
+        print(f"error: partitioning failed: {exc}", file=sys.stderr)
+        return EXIT_FAILED
     q = result.quality()
     print(q.formatted())
     print(f"modeled parallel time: {result.modeled_seconds * 1e3:.1f} ms on "
@@ -94,7 +168,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output:
         np.savetxt(args.output, result.parts, fmt="%d")
         print(f"wrote {args.output}")
-    return 0
+    if args.resume:
+        print(f"resumed from checkpoint: {args.resume}")
+        return EXIT_RESUMED
+    return EXIT_OK
 
 
 if __name__ == "__main__":

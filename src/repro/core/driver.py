@@ -16,9 +16,10 @@ modeled parallel time (see :mod:`repro.simmpi.timing`).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -31,9 +32,26 @@ from repro.core.state import RankState
 from repro.core.vertex_balance import vertex_balance_phase
 from repro.dist.build import build_dist_graph
 from repro.dist.distribution import Distribution, make_distribution
+from repro.ft.checkpoint import (
+    CkptContext,
+    CkptCommitter,
+    CkptPolicy,
+    checkpoint_after,
+    dist_signature,
+    find_latest_committed,
+    graph_signature,
+    inputs_signature,
+    load_checkpoint,
+    load_manifest,
+    make_context,
+    step_plan,
+    validate_manifest,
+    write_checkpoint,
+)
 from repro.graph.csr import Graph
 from repro.simmpi.backends import Backend, create_runtime
 from repro.simmpi.comm import SimComm
+from repro.simmpi.errors import RankFailure
 from repro.simmpi.metrics import CommStats
 from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel, TimeModel
 
@@ -80,6 +98,16 @@ class PartitionResult:
         return partition_quality(g, self.parts, self.num_parts)
 
 
+#: Phase functions of the step plan, with the params field naming their
+#: iteration count (see :func:`repro.ft.checkpoint.step_plan`).
+_PHASE_FUNCS = {
+    "vertex_balance": (vertex_balance_phase, "balance_iters"),
+    "vertex_refine": (vertex_refine_phase, "refine_iters"),
+    "edge_balance": (edge_balance_phase, "balance_iters"),
+    "edge_refine": (edge_refine_phase, "refine_iters"),
+}
+
+
 def _rank_main(
     comm: SimComm,
     graph: Graph,
@@ -88,25 +116,47 @@ def _rank_main(
     params: PulpParams,
     initial_parts: Optional[np.ndarray] = None,
     vertex_weights: Optional[np.ndarray] = None,
+    ckpt: Optional[CkptContext] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """The SPMD body: returns (owned gids, owned parts) per rank."""
+    """The SPMD body: returns (owned gids, owned parts) per rank.
+
+    The outer loop executes the step plan of
+    :func:`repro.ft.checkpoint.step_plan`; a fresh run starts at step 0
+    (initialization), a resumed run restores its rank snapshot after the
+    (deterministic, re-executed) graph build and re-enters the loop at the
+    checkpoint's ``next_step``.  With a :class:`CkptContext`, the policy's
+    boundaries deposit a checkpoint collective after the step completes.
+    """
     dg = build_dist_graph(comm, graph, dist)
+    n_build = comm.event_count  # same on every rank: the build is BSP
     state = RankState(dg=dg, num_parts=num_parts, params=params)
     if vertex_weights is not None:
         state.set_vertex_weights(
             vertex_weights[dg.owned_gids], float(vertex_weights.sum())
         )
-    initialize(comm, state, initial_parts)
-
-    state.iter_tot = 0
-    for _ in range(params.outer_iters):
-        vertex_balance_phase(comm, state, params.balance_iters)
-        vertex_refine_phase(comm, state, params.refine_iters)
-    if not params.single_objective:
-        state.iter_tot = 0
-        for _ in range(params.outer_iters):
-            edge_balance_phase(comm, state, params.balance_iters)
-            edge_refine_phase(comm, state, params.refine_iters)
+    plan = step_plan(params)
+    start = 0
+    if resume is not None:
+        state.restore(resume["snapshots"][comm.rank])
+        start = int(resume["next_step"])
+    for idx in range(start, len(plan)):
+        stage, _outer, phase_name = plan[idx]
+        if phase_name == "init":
+            initialize(comm, state, initial_parts)
+            state.iter_tot = 0
+        else:
+            if plan[idx - 1][0] != stage:
+                # first step of a stage: the iteration counter that drives
+                # the (X, Y) multiplier schedule restarts (as the legacy
+                # vertex/edge loop structure did)
+                state.iter_tot = 0
+            fn, iters_field = _PHASE_FUNCS[phase_name]
+            fn(comm, state, getattr(params, iters_field))
+        if ckpt is not None and checkpoint_after(plan, idx, ckpt.policy.every):
+            write_checkpoint(
+                comm, state, ckpt, epoch=idx, step=plan[idx], n_build=n_build
+            )
     return dg.owned_gids, state.parts[: dg.n_local].copy()
 
 
@@ -122,6 +172,9 @@ def xtrapulp(
     initial_parts: Optional[np.ndarray] = None,
     vertex_weights: Optional[np.ndarray] = None,
     backend: Union[str, None, Backend] = None,
+    checkpoint: Union[None, str, os.PathLike, CkptPolicy] = None,
+    resume: Union[None, str, os.PathLike] = None,
+    fault_plan: Any = None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``num_parts`` parts on ``nprocs`` simulated
     MPI ranks.
@@ -160,6 +213,24 @@ def xtrapulp(
         :class:`~repro.simmpi.backends.base.Backend`); None honors
         ``$REPRO_BACKEND`` and defaults to ``"threads"``.  Identical
         partitions and communication stats are produced on every backend.
+    checkpoint:
+        Enable phase-boundary checkpointing: a
+        :class:`~repro.ft.checkpoint.CkptPolicy`, or a run-directory path
+        (policy defaults then apply).  Epochs are committed atomically; a
+        failed checkpointed run raises
+        :class:`~repro.simmpi.errors.RankFailure` carrying the run
+        directory and last committed epoch.
+    resume:
+        Path of a run directory (its latest committed epoch is used) or of
+        one ``epoch_NNNN`` directory.  The manifest is validated against
+        the live graph/distribution/params/inputs; the run then restores
+        every rank's snapshot and re-enters the outer loop mid-flight.  A
+        resumed run's partition *and* communication record are
+        bit-identical to an uninterrupted run's.
+    fault_plan:
+        Optional :class:`~repro.ft.faults.FaultPlan` planting deterministic
+        failures (testing/benchmarking; on the ``procs`` backend a ``die``
+        fault hard-kills the rank's OS process mid-superstep).
     """
     if graph.directed:
         raise ValueError("xtrapulp partitions undirected (symmetric) graphs")
@@ -183,16 +254,84 @@ def xtrapulp(
         if dist.n != graph.n or dist.nprocs != nprocs:
             raise ValueError("distribution does not match graph/nprocs")
 
+    # -- fault-tolerance setup (no-op unless requested) -------------------
+    ft_requested = checkpoint is not None or resume is not None
+    policy: Optional[CkptPolicy] = None
+    if checkpoint is not None:
+        policy = (
+            checkpoint if isinstance(checkpoint, CkptPolicy)
+            else CkptPolicy(dir=os.fspath(checkpoint))
+        )
+    resume_arg: Optional[Dict[str, Any]] = None
+    base_events: list = []
+    n_skip = 0
+    ft_run_dir: Optional[str] = None
+    if resume is not None:
+        ckpt_data = load_checkpoint(os.fspath(resume))
+        validate_manifest(
+            ckpt_data.manifest,
+            nprocs=nprocs,
+            num_parts=num_parts,
+            graph_sig=graph_signature(graph),
+            dist_sig=dist_signature(dist),
+            params_repr=repr(params),
+            inputs_sig=inputs_signature(initial_parts, vertex_weights),
+        )
+        base_events = ckpt_data.base_events
+        n_skip = int(ckpt_data.manifest["n_build"])
+        resume_arg = {
+            "next_step": ckpt_data.next_step,
+            "snapshots": ckpt_data.snapshots,
+        }
+        ft_run_dir = os.path.dirname(os.path.abspath(ckpt_data.epoch_dir))
+    ckpt_ctx: Optional[CkptContext] = None
+    if policy is not None:
+        ft_run_dir = policy.dir
+        if policy.every != "off":
+            ckpt_ctx = make_context(
+                policy, graph=graph, dist=dist, params=params, nprocs=nprocs,
+                num_parts=num_parts, initial_parts=initial_parts,
+                vertex_weights=vertex_weights,
+            )
+
     # all phases charge deterministic work units (priced by the machine
     # model's gamma), so modeled times are exactly reproducible
     runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False)
+    if ft_requested and runtime.stats.rounds:
+        runtime.close()
+        raise ValueError(
+            "checkpoint/resume needs a fresh runtime: the given backend "
+            "already carries recorded events, which would corrupt the "
+            "spliced communication record"
+        )
+    if fault_plan is not None:
+        runtime.fault_plan = fault_plan
+    if ckpt_ctx is not None:
+        os.makedirs(policy.dir, exist_ok=True)
+        runtime.ckpt_committer = CkptCommitter(
+            policy.dir, base_events=base_events, n_skip=n_skip
+        )
     try:
         t0 = time.perf_counter()
         per_rank = runtime.run(
             _rank_main, graph, dist, num_parts, params, initial_parts,
-            vertex_weights,
+            vertex_weights, ckpt_ctx, resume_arg,
         )
         wall = time.perf_counter() - t0
+    except Exception as exc:
+        if not ft_requested:
+            raise
+        epoch: Optional[int] = None
+        if ft_run_dir is not None:
+            latest = find_latest_committed(ft_run_dir)
+            if latest is not None:
+                epoch = int(load_manifest(latest)["epoch"])
+        raise RankFailure(
+            f"checkpointed run failed: {exc} "
+            f"(run_dir={ft_run_dir!r}, last committed epoch: {epoch})",
+            run_dir=ft_run_dir,
+            epoch=epoch,
+        ) from exc
     finally:
         runtime.close()
 
@@ -204,12 +343,22 @@ def xtrapulp(
     if seen != graph.n:
         raise AssertionError(f"gathered {seen} of {graph.n} vertex labels")
 
+    stats = runtime.stats
+    if resume_arg is not None:
+        # splice: checkpointed prefix + live events minus the re-executed
+        # build (deterministic, so the prefix already contains it) — the
+        # record an uninterrupted run would have produced
+        spliced = CommStats(nprocs)
+        spliced.events = list(base_events) + stats.events[n_skip:]
+        spliced.recoveries = list(stats.recoveries)
+        stats = spliced
+
     return PartitionResult(
         parts=parts,
         num_parts=num_parts,
         nprocs=nprocs,
         params=params,
-        stats=runtime.stats,
+        stats=stats,
         wall_seconds=wall,
         machine=machine,
         backend=runtime.name,

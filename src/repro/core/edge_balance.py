@@ -157,6 +157,7 @@ def edge_balance_phase(comm: SimComm, state: RankState, iters: int) -> None:
                 moved = _commit(state, lids, cand, wsel, plain, Cv, Ce, Cc)
                 sweeper.note_moves(moved)
             _finish_iteration(comm, state, sweeper, Sv, Se, Sc, Cv, Ce, Cc)
+        state.Sv, state.Se, state.Sc = Sv, Se, Sc  # for boundary snapshots
 
 
 def edge_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
@@ -218,3 +219,4 @@ def edge_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
                 moved = _commit(state, lids, cand, wsel, plain, Cv, Ce, Cc)
                 sweeper.note_moves(moved)
             _finish_iteration(comm, state, sweeper, Sv, Se, Sc, Cv, Ce, Cc)
+        state.Sv, state.Se, state.Sc = Sv, Se, Sc  # for boundary snapshots

@@ -119,6 +119,41 @@ class FrontierSweeper:
             self._dirt = None
             self._thresh = None
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The sweeper's mid-phase position as plain data.
+
+        The driver checkpoints only at phase boundaries — where no sweeper
+        is live — so this is not on the checkpoint path; it exists so
+        finer-than-phase checkpointing (and tests) can capture an active
+        set mid-phase and resume it bit-identically via :meth:`restore`.
+        """
+        return {
+            "phase": self.phase,
+            "iter": int(self._iter),
+            "frontier": (
+                None if self._frontier is None else self._frontier.copy()
+            ),
+            "moved": [m.copy() for m in self._moved],
+            "dirt": None if self._dirt is None else self._dirt.copy(),
+            "edges_mark": float(self._edges_mark),
+        }
+
+    def restore(self, snap: dict) -> None:
+        if snap["phase"] != self.phase:
+            raise ValueError(
+                f"snapshot is for phase {snap['phase']!r}, "
+                f"this sweeper drives {self.phase!r}"
+            )
+        self._iter = int(snap["iter"])
+        fr = snap["frontier"]
+        self._frontier = None if fr is None else np.asarray(fr, dtype=np.int64)
+        self._moved = [np.asarray(m, dtype=np.int64) for m in snap["moved"]]
+        if self._dirt is not None and snap["dirt"] is not None:
+            self._dirt[:] = snap["dirt"]
+        self._edges_mark = float(snap["edges_mark"])
+
     # -- iteration body ------------------------------------------------------
 
     @property

@@ -72,3 +72,4 @@ def vertex_refine_phase(comm: SimComm, state: RankState, iters: int) -> None:
             Cv_global = comm.Allreduce(Cv, op="sum")
             Sv += Cv_global
             state.iter_tot += 1
+        state.Sv = Sv  # last agreed totals, for phase-boundary snapshots

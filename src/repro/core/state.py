@@ -41,6 +41,13 @@ class RankState:
     vweights: np.ndarray = field(init=False)
     global_vweight: float = field(init=False)
     wire: WireSpec = field(init=False)
+    #: Last Allreduced global per-part totals, stored by each phase at its
+    #: end.  Phases re-Allreduce at entry, so these are *not* read on the
+    #: hot path — they exist so a phase-boundary checkpoint captures the
+    #: totals the run had agreed on (diagnostics + snapshot fidelity).
+    Sv: Optional[np.ndarray] = None
+    Se: Optional[np.ndarray] = None
+    Sc: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.parts = np.full(self.dg.n_total, UNASSIGNED, dtype=np.int64)
@@ -65,6 +72,62 @@ class RankState:
             raise ValueError("vertex weights must be positive")
         self.vweights = weights
         self.global_vweight = float(total)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything that crosses a phase boundary, as plain data.
+
+        Captured at the step boundaries of the driver's plan (see
+        :mod:`repro.ft.checkpoint`): the part labels over owned + ghost
+        vertices, the iteration counter, the RNG bit-generator state, and
+        the work/sweep accounting.  Phase-local structures (frontier,
+        size estimates) are rebuilt by each phase at entry and need no
+        capture.  ``pickle`` of the result is deterministic for equal
+        states — checkpoint payloads are part of the bit-reproducible
+        communication record.
+        """
+        return {
+            "format": 1,
+            "rank": int(self.dg.rank),
+            "n_local": int(self.dg.n_local),
+            "n_total": int(self.dg.n_total),
+            "parts": self.parts.copy(),
+            "iter_tot": int(self.iter_tot),
+            "rng_state": self.rng.bit_generator.state,
+            "work_pending": float(self.work_pending),
+            "edges_touched": float(self.edges_touched),
+            "sweep_log": list(self.sweep_log),
+            "Sv": None if self.Sv is None else np.asarray(self.Sv).copy(),
+            "Se": None if self.Se is None else np.asarray(self.Se).copy(),
+            "Sc": None if self.Sc is None else np.asarray(self.Sc).copy(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Re-enter the state captured by :meth:`snapshot` (same rank of
+        the same distributed graph; shape mismatches raise)."""
+        for key, want in (("rank", self.dg.rank),
+                          ("n_local", self.dg.n_local),
+                          ("n_total", self.dg.n_total)):
+            if int(snap[key]) != int(want):
+                raise ValueError(
+                    f"snapshot {key}={snap[key]} does not match this "
+                    f"rank's {key}={want}"
+                )
+        parts = np.asarray(snap["parts"], dtype=np.int64)
+        if parts.shape != self.parts.shape:
+            raise ValueError(
+                f"snapshot parts shape {parts.shape} != {self.parts.shape}"
+            )
+        self.parts[:] = parts
+        self.iter_tot = int(snap["iter_tot"])
+        self.rng.bit_generator.state = snap["rng_state"]
+        self.work_pending = float(snap["work_pending"])
+        self.edges_touched = float(snap["edges_touched"])
+        self.sweep_log = list(snap["sweep_log"])
+        self.Sv = snap["Sv"]
+        self.Se = snap["Se"]
+        self.Sc = snap["Sc"]
 
     # -- targets -------------------------------------------------------------
 

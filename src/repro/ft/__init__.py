@@ -1,0 +1,39 @@
+"""Fault tolerance for the simulated-MPI partitioner.
+
+Three pieces, mirroring what a production XtraPuLP deployment layers on top
+of MPI:
+
+- :mod:`repro.ft.checkpoint` — phase-boundary checkpointing of per-rank
+  partitioner state with an atomic epoch-commit protocol;
+- :mod:`repro.ft.faults` — deterministic, seeded fault injection planted at
+  exact supersteps on every execution backend (raise / hard process death /
+  injected latency);
+- :mod:`repro.ft.recovery` — a supervisor that relaunches a failed run from
+  its last committed epoch with capped exponential backoff.
+
+Headline guarantee (enforced by ``tests/ft/``): a run killed at any
+injected fault point and resumed from its checkpoint produces a
+**bit-identical partition and communication record** to the uninterrupted
+run, on all three backends.
+"""
+
+from repro.ft.checkpoint import (
+    CheckpointError,
+    CkptPolicy,
+    find_latest_committed,
+    load_manifest,
+)
+from repro.ft.faults import FaultPlan, FaultSpec, parse_fault_spec
+from repro.ft.recovery import RetryPolicy, run_with_retries
+
+__all__ = [
+    "CheckpointError",
+    "CkptPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "find_latest_committed",
+    "load_manifest",
+    "parse_fault_spec",
+    "run_with_retries",
+]

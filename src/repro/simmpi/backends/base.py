@@ -73,6 +73,32 @@ class Backend(ABC):
         self.nprocs = int(nprocs)
         self.meter_compute = bool(meter_compute)
         self.stats = CommStats(self.nprocs)
+        #: Optional :class:`repro.ft.faults.FaultPlan` (duck-typed: anything
+        #: with ``check(rank, op, tag, can_die=...)``).  Consulted rank-side
+        #: before every collective deposit so deterministic crashes/delays
+        #: can be planted at exact supersteps on every backend.
+        self.fault_plan: Optional[Any] = None
+        #: Optional :class:`repro.ft.checkpoint.CkptCommitter` (duck-typed:
+        #: ``commit(stats)``).  Invoked in the driver/parent process right
+        #: after a ``checkpoint`` collective is recorded — the process that
+        #: owns ``stats`` is the only one that can write the epoch's event
+        #: prefix, and running commit at record time orders it after the
+        #: rank files were persisted by the collective's writer.
+        self.ckpt_committer: Optional[Any] = None
+
+    # -- fault injection ---------------------------------------------------
+
+    def _fault_check(self, rank: int, op: str, tag: str, *,
+                     can_die: bool = False) -> None:
+        """Give the fault plan a chance to fire before a deposit.
+
+        ``can_die`` tells the plan whether hard process death is available
+        (only the ``procs`` backend runs ranks in killable processes; the
+        in-process backends downgrade ``die`` to a raised fault).
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            plan.check(rank, op, tag, can_die=can_die)
 
     # -- rendezvous + collective compute -----------------------------------
 
@@ -94,6 +120,7 @@ class Backend(ABC):
         ``nbytes_sent`` is this rank's off-rank payload for the metering
         convention documented in :mod:`repro.simmpi.metrics`.
         """
+        self._fault_check(rank, op, tag)
         if self.nprocs == 1:
             results = execute([contribution])
             self._record(op, tag,
@@ -134,6 +161,8 @@ class Backend(ABC):
             op=op, tag=tag, bytes_sent=bytes_sent,
             compute_seconds=compute_seconds, work_units=work_units,
         ))
+        if op == "checkpoint" and self.ckpt_committer is not None:
+            self.ckpt_committer.commit(self.stats)
 
     # -- spawning SPMD programs --------------------------------------------
 

@@ -24,9 +24,15 @@ forking (so every process shares one resource tracker), a slot that outgrows
 its segment creates a replacement and immediately unlinks the old one, and
 the parent unlinks whatever segment each slot currently names in a
 ``finally`` — on normal exit *and* when a rank raises — so no segment and no
-``resource_tracker`` warning outlives a run.  The parent also supervises the
-children: if one dies without reporting (hard crash), it breaks the barrier
-so the surviving ranks error out instead of hanging.
+``resource_tracker`` warning outlives a run.  Every segment of a session
+carries a unique session prefix in its (explicit) name, so teardown can
+additionally sweep ``/dev/shm`` for the prefix and reclaim segments whose
+creator died *mid-replacement* — the window where a freshly-grown segment
+exists but no live slot names it yet.  A child killed hard at any point
+(even ``os._exit`` inside a superstep, as the fault-injection tests do)
+therefore leaks nothing.  The parent also supervises the children: if one
+dies without reporting (hard crash), it breaks the barrier so the surviving
+ranks error out instead of hanging.
 
 Requires the ``fork`` start method (fork is what lets closures and
 unpicklable shared arguments reach the ranks), so this backend is
@@ -35,11 +41,14 @@ POSIX-only.
 
 from __future__ import annotations
 
+import glob
 import multiprocessing
+import os
 import pickle
 import struct
 import threading
 import time
+import uuid
 from multiprocessing import shared_memory, sharedctypes
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -54,7 +63,42 @@ from repro.simmpi.errors import (
 
 _HEADER = struct.Struct("<qq")  # (pickle length, number of oob buffers)
 _BUFLEN = struct.Struct("<q")
-_NAME_CAP = 120  # shm segment names are short ("psm_...")
+_NAME_CAP = 120  # shm segment names are short ("simmpi...")
+
+
+def _session_prefix() -> str:
+    """A name prefix unique to one session (pid + random token)."""
+    return f"simmpi{os.getpid()}x{uuid.uuid4().hex[:6]}"
+
+
+def _sweep_shm(prefix: str) -> List[str]:
+    """Destroy every ``/dev/shm`` segment named under ``prefix``.
+
+    Safety net for segments orphaned by a hard-killed child — e.g. one that
+    died between creating a grown replacement segment and retiring the old
+    one, when neither name is the slot's published segment anymore.  Going
+    through :class:`SharedMemory` (attach + unlink) rather than ``os.remove``
+    keeps the fork-shared resource tracker's registry consistent.  Returns
+    the names reclaimed (normal runs return ``[]``).
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux POSIX
+        return []
+    reclaimed: List[str] = []
+    for path in sorted(glob.glob(os.path.join(shm_dir,
+                                              glob.escape(prefix) + "*"))):
+        name = os.path.basename(path)
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:  # pragma: no cover - raced another sweep
+            continue
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another sweep
+            pass
+        seg.close()
+        reclaimed.append(name)
+    return reclaimed
 
 
 def _picklable(exc: BaseException) -> BaseException:
@@ -78,11 +122,27 @@ class _Slot:
 
     INITIAL = 1 << 16
 
-    def __init__(self) -> None:
-        seg = shared_memory.SharedMemory(create=True, size=self.INITIAL)
+    def __init__(self, base: str) -> None:
+        self._base = base
+        seg = self._create(0, self.INITIAL)
         self._published = sharedctypes.RawArray("c", _NAME_CAP)
         self._publish(seg.name)
         self._seg: Optional[shared_memory.SharedMemory] = seg
+
+    def _create(self, gen: int, size: int) -> shared_memory.SharedMemory:
+        """Create generation ``gen`` of this slot's segment.
+
+        Explicit names (``{base}g{gen}``) keep every segment of a session
+        under its prefix so :func:`_sweep_shm` can find orphans by name.
+        """
+        while True:
+            name = f"{self._base}g{gen}"
+            try:
+                return shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+            except FileExistsError:  # pragma: no cover - stale leftover
+                gen += 1
 
     def _publish(self, name: str) -> None:
         raw = name.encode()
@@ -105,7 +165,8 @@ class _Slot:
         size = max(seg.size, self.INITIAL)
         while size < nbytes:
             size *= 2
-        new = shared_memory.SharedMemory(create=True, size=size)
+        gen = int(seg.name.rsplit("g", 1)[1]) + 1
+        new = self._create(gen, size)
         self._publish(new.name)
         self._seg = new
         # the grower retires the replaced segment; other processes re-attach
@@ -189,11 +250,14 @@ class _Session:
 
     def __init__(self, ctx, nprocs: int) -> None:
         self.nprocs = nprocs
+        self.shm_prefix = _session_prefix()
         self.barrier = ctx.Barrier(nprocs)
         self.fail_flag = sharedctypes.RawValue("i", 0)
-        self.request = [_Slot() for _ in range(nprocs)]
-        self.response = [_Slot() for _ in range(nprocs)]
-        self.failure = _Slot()
+        self.request = [_Slot(f"{self.shm_prefix}req{r}")
+                        for r in range(nprocs)]
+        self.response = [_Slot(f"{self.shm_prefix}rsp{r}")
+                         for r in range(nprocs)]
+        self.failure = _Slot(f"{self.shm_prefix}fail")
         self.stats_queue = ctx.SimpleQueue()
 
     def set_failure(self, exc: BaseException) -> None:
@@ -205,21 +269,25 @@ class _Session:
             return None
         return self.failure.read(copy=True)
 
-    def teardown(self) -> None:
-        """Parent-side: destroy every live segment (idempotent)."""
+    def teardown(self) -> List[str]:
+        """Parent-side: destroy every live segment (idempotent), then sweep
+        the session prefix for segments orphaned by a hard-killed child.
+        Returns the names the sweep reclaimed (``[]`` for clean runs)."""
         for slot in (*self.request, *self.response, self.failure):
             slot.unlink()
+        return _sweep_shm(self.shm_prefix)
 
 
 class _RankEndpoint:
     """Rank-side collective engine; satisfies SimComm's runtime protocol."""
 
-    def __init__(self, session: _Session, rank: int,
-                 meter_compute: bool) -> None:
+    def __init__(self, session: _Session, rank: int, meter_compute: bool,
+                 fault_plan: Any = None) -> None:
         self._session = session
         self.rank = rank
         self.nprocs = session.nprocs
         self.meter_compute = meter_compute
+        self._fault_plan = fault_plan
         self._step = 0
 
     # SimComm calls this with the same signature as Backend.collective.
@@ -234,6 +302,10 @@ class _RankEndpoint:
         compute_seconds: float,
         work_units: float = 0.0,
     ) -> Any:
+        if self._fault_plan is not None:
+            # can_die=True: ranks are real processes here, so a "die" fault
+            # is an actual os._exit mid-superstep, not a raised exception.
+            self._fault_plan.check(self.rank, op, tag, can_die=True)
         action = ("coll", op, tag, int(nbytes_sent), float(compute_seconds),
                   float(work_units), contribution)
         kind, value = self._superstep(action, execute)
@@ -340,6 +412,7 @@ def _rank_process_main(
     session: _Session,
     rank: int,
     meter_compute: bool,
+    fault_plan: Any,
     fn: Callable[..., Any],
     args: tuple,
     rank_args: Optional[Sequence[Sequence[Any]]],
@@ -347,7 +420,7 @@ def _rank_process_main(
 ) -> None:
     from repro.simmpi.comm import SimComm
 
-    endpoint = _RankEndpoint(session, rank, meter_compute)
+    endpoint = _RankEndpoint(session, rank, meter_compute, fault_plan)
     try:
         comm = SimComm(endpoint, rank)
         extra = tuple(rank_args[rank]) if rank_args is not None else ()
@@ -388,6 +461,11 @@ class ProcsBackend(Backend):
                 "(POSIX); use backend='threads' or 'serial' instead"
             )
         self._ctx = multiprocessing.get_context("fork")
+        #: shm name prefix of the most recent session and the orphaned
+        #: segment names its teardown sweep reclaimed (hygiene tests
+        #: assert the sweep found nothing to do / that nothing survives).
+        self.last_shm_prefix: Optional[str] = None
+        self.last_shm_reclaimed: List[str] = []
 
     def _run_parallel(
         self,
@@ -397,12 +475,13 @@ class ProcsBackend(Backend):
         kwargs: dict,
     ) -> List[Any]:
         session = _Session(self._ctx, self.nprocs)
+        self.last_shm_prefix = session.shm_prefix
         try:
             procs = [
                 self._ctx.Process(
                     target=_rank_process_main,
-                    args=(session, r, self.meter_compute, fn, args,
-                          rank_args, kwargs),
+                    args=(session, r, self.meter_compute, self.fault_plan,
+                          fn, args, rank_args, kwargs),
                     daemon=True,
                     name=f"simmpi-proc-{r}",
                 )
@@ -410,24 +489,30 @@ class ProcsBackend(Backend):
             ]
             for p in procs:
                 p.start()
-            events = self._supervise(session, procs)
+            self._supervise(session, procs)
             for p in procs:
                 p.join()
-            for step, op, tag, nbytes, compute, work in sorted(events):
-                self._record(op, tag, nbytes, compute, work)
             return self._collect(session, procs)
         finally:
-            session.teardown()
+            self.last_shm_reclaimed = session.teardown()
 
-    def _supervise(self, session: _Session, procs: list) -> list:
+    def _supervise(self, session: _Session, procs: list) -> None:
         """Drain the stats channel while children run; break the barrier if
-        a child dies without reporting (so peers error out, not hang)."""
-        events = []
+        a child dies without reporting (so peers error out, not hang).
+
+        Events are **recorded as they drain**: the queue has a single
+        producer (rank 0, the designated computer) that enqueues in
+        superstep order, so FIFO draining preserves the record order — and
+        recording mid-run is what lets the checkpoint-commit hook in
+        :meth:`Backend._record` fire at the epoch boundary instead of after
+        the run (a crashed run must still have its committed epochs)."""
         aborted = False
         while True:
             drained = False
             while not session.stats_queue.empty():
-                events.append(session.stats_queue.get())
+                _step, op, tag, nbytes, compute, work = \
+                    session.stats_queue.get()
+                self._record(op, tag, nbytes, compute, work)
                 drained = True
             if not any(p.is_alive() for p in procs):
                 break
@@ -439,8 +524,8 @@ class ProcsBackend(Backend):
             if not drained:
                 time.sleep(0.001)
         while not session.stats_queue.empty():
-            events.append(session.stats_queue.get())
-        return events
+            _step, op, tag, nbytes, compute, work = session.stats_queue.get()
+            self._record(op, tag, nbytes, compute, work)
 
     def _collect(self, session: _Session, procs: list) -> List[Any]:
         results: List[Any] = [None] * self.nprocs

@@ -83,6 +83,10 @@ class SimComm:
         self.size = runtime.nprocs
         self._tag = ""
         self._work = 0.0
+        #: Collectives completed by this rank so far.  A BSP program keeps
+        #: this identical across ranks; checkpoints record it so a resumed
+        #: run knows where its re-executed prologue (graph build) ends.
+        self.event_count = 0
         self._last_thread_time: float = (
             time.thread_time() if runtime.meter_compute else 0.0
         )
@@ -132,10 +136,12 @@ class SimComm:
         work = self._work
         self._work = 0.0
         try:
-            return self._runtime.collective(
+            result = self._runtime.collective(
                 self.rank, op, self._tag, contribution, nbytes_sent, execute,
                 delta, work,
             )
+            self.event_count += 1
+            return result
         finally:
             self._mark_resume()
 
@@ -143,6 +149,35 @@ class SimComm:
 
     def barrier(self) -> None:
         self._collective("barrier", None, 0, lambda c: [None] * len(c))
+
+    # -- checkpoint rendezvous -------------------------------------------------
+
+    def Checkpoint(
+        self,
+        payload: bytes,
+        meta: dict,
+        writer: Callable[[List[Tuple[bytes, dict]]], Any],
+    ) -> Any:
+        """Collective checkpoint: every rank deposits its state ``payload``
+        (plus a small ``meta`` dict, identical across ranks), ``writer``
+        runs exactly once with the full per-rank list and persists it, and
+        its return value is delivered to every rank.
+
+        Metered as one ``checkpoint`` event whose per-rank bytes are the
+        payload sizes — deterministic for deterministic snapshots, so
+        checkpointing leaves the communication record bit-reproducible.
+        The backend's driver-side hook (:attr:`Backend.ckpt_committer`)
+        fires when this event is recorded, which is what turns the written
+        files into a *committed* epoch (see :mod:`repro.ft.checkpoint`).
+        """
+
+        def execute(contribs: List[Any]) -> List[Any]:
+            result = writer(contribs)
+            return [result] * len(contribs)
+
+        return self._collective(
+            "checkpoint", (bytes(payload), dict(meta)), len(payload), execute
+        )
 
     # -- generic-object collectives -------------------------------------------
 

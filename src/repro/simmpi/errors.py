@@ -30,3 +30,34 @@ class RemoteRankError(SimMPIError):
     so the whole SPMD program shuts down; the originating exception is
     re-raised to the caller of :meth:`repro.simmpi.runtime.Runtime.run`.
     """
+
+
+class InjectedFault(SimMPIError):
+    """A deliberate failure planted by :class:`repro.ft.faults.FaultPlan`.
+
+    Raised rank-side at the planned superstep so crash/recovery paths are
+    exercisable deterministically in tests and CI.  Travels the same error
+    path as a genuine rank exception on every backend.
+    """
+
+
+class RankFailure(SimMPIError):
+    """A checkpointed run died and may be retried from its last epoch.
+
+    Raised by :func:`repro.core.driver.xtrapulp` (instead of the raw rank
+    exception, which becomes ``__cause__``) when checkpointing or resuming
+    was requested, so supervisors can distinguish "retriable SPMD failure"
+    from configuration errors.  Attributes:
+
+    ``run_dir``
+        The checkpoint run directory of the failed attempt (or None).
+    ``epoch``
+        Index of the latest *committed* epoch available for ``resume=``,
+        or None if no checkpoint was committed before the failure.
+    """
+
+    def __init__(self, message: str, *, run_dir: "str | None" = None,
+                 epoch: "int | None" = None) -> None:
+        super().__init__(message)
+        self.run_dir = run_dir
+        self.epoch = epoch

@@ -69,15 +69,36 @@ class CollectiveEvent:
         return float(self.work_units.max())
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One supervised recovery: a rank failure absorbed by a retry.
+
+    Recorded by :func:`repro.ft.recovery.run_with_retries` on the stats of
+    the run that finally succeeded, so the communication record of a
+    fault-tolerant execution also tells the story of how it got there.
+    ``epoch`` is the checkpoint epoch the retry resumed from (None for a
+    from-scratch restart), ``error`` a repr of the failure absorbed.
+    """
+
+    attempt: int
+    epoch: Optional[int]
+    error: str
+    backoff_seconds: float
+
+
 @dataclass
 class CommStats:
     """Aggregated communication statistics for one SPMD run."""
 
     nprocs: int
     events: List[CollectiveEvent] = field(default_factory=list)
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
 
     def record(self, event: CollectiveEvent) -> None:
         self.events.append(event)
+
+    def record_recovery(self, event: RecoveryEvent) -> None:
+        self.recoveries.append(event)
 
     # -- aggregate views ---------------------------------------------------
 
@@ -171,6 +192,25 @@ class CommStats:
                 f"cannot merge stats for {other.nprocs} ranks into {self.nprocs}"
             )
         self.events.extend(other.events)
+        self.recoveries.extend(other.recoveries)
+
+    def signature(self) -> List[tuple]:
+        """A comparable, bit-exact digest of the event stream.
+
+        Two runs with equal signatures moved the same bytes and charged the
+        same work in the same collectives in the same order — the record
+        half of the determinism/recovery oracle (``compute_seconds`` is
+        excluded: it is wall-clock noise unless ``meter_compute`` is off).
+        """
+        return [
+            (
+                e.op,
+                e.tag,
+                e.bytes_sent.tolist(),
+                e.work_units.tolist() if e.work_units is not None else None,
+            )
+            for e in self.events
+        ]
 
     def filtered(self, tags: Sequence[str]) -> "CommStats":
         """A view restricted to events whose tag is in ``tags``."""
@@ -190,5 +230,10 @@ class CommStats:
             lines.append(
                 f"  {op:<12s} rounds={self.rounds_by_op()[op]:<6d} "
                 f"{nbytes/2**20:.3f} MiB"
+            )
+        for rec in self.recoveries:
+            lines.append(
+                f"  recovery     attempt={rec.attempt} "
+                f"resumed_from_epoch={rec.epoch} after {rec.error}"
             )
         return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the fault-tolerance tests.
+
+Everything runs on one small fixed-seed R-MAT instance; the
+fault/recovery oracle is comparison against an uninterrupted reference
+run — parts by array equality, communication records by
+``CommStats.signature()``.
+"""
+
+import pytest
+
+from repro.core import PulpParams, xtrapulp
+from repro.graph import generators
+
+NPROCS = 3
+PARTS = 4
+
+
+@pytest.fixture(scope="session")
+def ft_graph():
+    return generators.rmat(8, avg_degree=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ft_params():
+    return PulpParams(seed=123, outer_iters=2)
+
+
+@pytest.fixture(scope="session")
+def reference(ft_graph, ft_params):
+    """Uninterrupted, checkpoint-free reference run (serial backend)."""
+    return xtrapulp(
+        ft_graph, PARTS, nprocs=NPROCS, params=ft_params, backend="serial"
+    )
