@@ -79,6 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "ghost-slot records (default) or the paper's "
                              "64-bit (gid, part) pairs; both produce "
                              "identical partitions")
+    parser.add_argument("--comm", metavar="STRATEGY[:R[xK]]",
+                        default=None,
+                        help="communicator strategy for topology-aware "
+                             "metering: 'flat' (one rank = one node), "
+                             "'naive' (alias), or 'hierarchical[:R[xK]]' "
+                             "(two-level exchange, R ranks/node, default 8; "
+                             "e.g. hierarchical:16). Default: $REPRO_COMM "
+                             "or 'flat'. Strategy choice never changes the "
+                             "partition, only the modeled tier traffic")
     ft = parser.add_argument_group("fault tolerance")
     ft.add_argument("--checkpoint-dir", metavar="DIR",
                     help="checkpoint the run into DIR at phase boundaries; "
@@ -113,14 +122,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: cannot cut {graph.n} vertices into {args.parts} parts",
               file=sys.stderr)
         return EXIT_USAGE
-    params = PulpParams(
-        init_strategy=args.init,
-        vert_imbalance=args.vert_imbalance,
-        edge_imbalance=args.edge_imbalance,
-        single_objective=args.single_objective,
-        seed=args.seed,
-        wire=args.wire,
-    )
+    try:
+        params = PulpParams(
+            init_strategy=args.init,
+            vert_imbalance=args.vert_imbalance,
+            edge_imbalance=args.edge_imbalance,
+            single_objective=args.single_objective,
+            seed=args.seed,
+            wire=args.wire,
+            comm=args.comm,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     checkpoint = None
     if args.checkpoint_dir:
         from repro.ft import CkptPolicy
@@ -162,9 +176,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     q = result.quality()
     print(q.formatted())
     print(f"modeled parallel time: {result.modeled_seconds * 1e3:.1f} ms on "
-          f"{args.ranks} ranks ({result.backend} backend); "
+          f"{args.ranks} ranks ({result.backend} backend, "
+          f"{result.comm} comm); "
           f"wall {result.wall_seconds:.2f} s; "
           f"{result.stats.total_bytes / 2**20:.2f} MiB communicated")
+    if result.stats.tiered:
+        intra = result.stats.modeled_intra_bytes()
+        inter = result.stats.modeled_inter_bytes()
+        print(f"two-level wire model: {intra / 2**20:.2f} MiB intra-node, "
+              f"{inter / 2**20:.2f} MiB inter-node")
     if args.output:
         np.savetxt(args.output, result.parts, fmt="%d")
         print(f"wrote {args.output}")

@@ -51,6 +51,7 @@ from repro.ft.checkpoint import (
 from repro.graph.csr import Graph
 from repro.simmpi.backends import Backend, create_runtime
 from repro.simmpi.comm import SimComm
+from repro.simmpi.topology import default_comm
 from repro.simmpi.errors import RankFailure
 from repro.simmpi.metrics import CommStats
 from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel, TimeModel
@@ -78,6 +79,7 @@ class PartitionResult:
     wall_seconds: float
     machine: MachineModel = BLUE_WATERS_LIKE
     backend: str = "threads"
+    comm: str = "flat"
     _graph: Optional[Graph] = field(default=None, repr=False)
 
     @property
@@ -213,6 +215,10 @@ def xtrapulp(
         :class:`~repro.simmpi.backends.base.Backend`); None honors
         ``$REPRO_BACKEND`` and defaults to ``"threads"``.  Identical
         partitions and communication stats are produced on every backend.
+        The communicator strategy (``params.comm`` / ``$REPRO_COMM``)
+        independently selects topology-aware metering — again without
+        changing partitions or the communication record (see
+        :mod:`repro.simmpi.topology`).
     checkpoint:
         Enable phase-boundary checkpointing: a
         :class:`~repro.ft.checkpoint.CkptPolicy`, or a run-directory path
@@ -296,7 +302,9 @@ def xtrapulp(
 
     # all phases charge deterministic work units (priced by the machine
     # model's gamma), so modeled times are exactly reproducible
-    runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False)
+    comm_spec = params.comm if params.comm is not None else default_comm()
+    runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False,
+                             comm=comm_spec)
     if ft_requested and runtime.stats.rounds:
         runtime.close()
         raise ValueError(
@@ -362,5 +370,7 @@ def xtrapulp(
         wall_seconds=wall,
         machine=machine,
         backend=runtime.name,
+        comm=(runtime.comm_strategy.name if runtime.comm_strategy is not None
+              else "flat"),
         _graph=graph if keep_graph else None,
     )

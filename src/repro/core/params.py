@@ -56,6 +56,15 @@ class PulpParams:
         64-bit ``(gid, part)`` pairs (16 bytes/record, gid ``searchsorted``
         on receive) — kept as a bit-identity verification mode, same
         pattern as ``frontier="full"`` (enforced by the wire tests).
+    comm:
+        Communicator strategy spec (:mod:`repro.simmpi.topology`), the
+        ChainerMN-style ``name[:ranks_per_node[xnodes_per_rack]]`` grammar:
+        ``"flat"`` (one rank = one node, today's metering), ``"naive"``
+        (alias), or ``"hierarchical[:R[xK]]"`` (two-level exchange metering
+        with ``R`` ranks/node).  None (default) honors ``$REPRO_COMM``,
+        falling back to ``flat``.  Strategy choice never changes the
+        partition or the communication record — only the tier metering the
+        tiered machine models price.
     re_init, re_step, rc_init, rc_step:
         Schedule for the edge-balance bias factors (§III.E): ``Re`` grows by
         ``re_step`` per iteration while the edge-balance constraint is
@@ -89,6 +98,7 @@ class PulpParams:
     block_size: int = 4096
     frontier: Union[bool, str] = True
     wire: str = "compact"
+    comm: Optional[str] = None
     re_init: float = 1.0
     re_step: float = 1.0
     rc_init: float = 1.0
@@ -116,6 +126,12 @@ class PulpParams:
             raise ValueError(
                 f"wire must be 'compact' or 'gid64', got {self.wire!r}"
             )
+        if self.comm is not None:
+            # grammar check only (cheap, import-light); the registry
+            # validates the strategy name when the runtime is built
+            from repro.simmpi.topology.model import parse_comm_spec
+
+            parse_comm_spec(self.comm)
         if self.init_strategy not in ("hybrid", "random", "block"):
             raise ValueError(f"unknown init strategy {self.init_strategy!r}")
 

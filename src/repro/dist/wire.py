@@ -21,6 +21,14 @@ Both formats send identical record *sets* in identical order (the packer
 is a stable bucketing either way), so partitions, frontier seeds, and
 iteration counts are bit-identical across formats — enforced by the wire
 equivalence tests.
+
+The wire format is orthogonal to the *communicator strategy*
+(:mod:`repro.simmpi.topology`): both formats route through
+``SimComm.Alltoallv_fields``/``Alltoallv``, so under the ``hierarchical``
+strategy the same records are additionally metered as a two-level exchange
+(aggregated per node pair, count headers narrowed to ``uint32`` on the
+inter-node wire) — compounding with the compact format's 2-4x record
+shrink rather than replacing it.
 """
 
 from __future__ import annotations

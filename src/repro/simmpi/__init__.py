@@ -19,6 +19,20 @@ program produces bit-identical results and communication records on all
 backends — pick one with :func:`~repro.simmpi.backends.create_runtime` or
 the ``REPRO_BACKEND`` environment variable.
 
+How communication is *priced* is equally pluggable
+(:mod:`repro.simmpi.topology`): a ChainerMN-style communicator registry
+maps ranks onto a machine topology (nodes, optionally racks).  The default
+``flat`` strategy keeps today's one-rank-per-node metering; the
+``hierarchical`` strategy models a two-level exchange (intra-node gather
+to a per-node leader, one aggregated inter-node message per node pair,
+intra-node scatter) and splits every event's bytes/hops into intra- vs
+inter-node tiers — without touching payload movement, so results and
+communication records stay bit-identical across strategies.  Pick one with
+the ``comm=`` argument of ``create_runtime``/``run_spmd`` or the
+``REPRO_COMM`` environment variable; tiered machine flavors
+(:data:`~repro.simmpi.timing.BLUE_WATERS_TIERED`) price each tier with its
+own alpha/beta constants.
+
 Every byte that crosses a rank boundary is accounted by
 :class:`~repro.simmpi.metrics.CommStats`, and
 :class:`~repro.simmpi.timing.TimeModel` turns the per-superstep record of
@@ -46,9 +60,27 @@ from repro.simmpi.errors import (
     RemoteRankError,
     SimMPIError,
 )
-from repro.simmpi.metrics import CommStats, CollectiveEvent
+from repro.simmpi.metrics import CommStats, CollectiveEvent, TierMetering
 from repro.simmpi.runtime import Runtime, run_spmd
-from repro.simmpi.timing import MachineModel, TimeModel, BLUE_WATERS_LIKE
+from repro.simmpi.timing import (
+    BLUE_WATERS_LIKE,
+    BLUE_WATERS_TIERED,
+    MachineModel,
+    TieredMachineModel,
+    TimeModel,
+)
+from repro.simmpi.topology import (
+    COMM_ENV_VAR,
+    Communicator,
+    FlatCommunicator,
+    HierarchicalCommunicator,
+    Topology,
+    available_communicators,
+    create_communicator,
+    default_comm,
+    make_topology,
+    parse_comm_spec,
+)
 
 __all__ = [
     "SimComm",
@@ -64,9 +96,22 @@ __all__ = [
     "default_backend",
     "CommStats",
     "CollectiveEvent",
+    "TierMetering",
     "MachineModel",
+    "TieredMachineModel",
     "TimeModel",
     "BLUE_WATERS_LIKE",
+    "BLUE_WATERS_TIERED",
+    "Topology",
+    "make_topology",
+    "parse_comm_spec",
+    "Communicator",
+    "FlatCommunicator",
+    "HierarchicalCommunicator",
+    "create_communicator",
+    "available_communicators",
+    "default_comm",
+    "COMM_ENV_VAR",
     "SimMPIError",
     "CollectiveMismatchError",
     "DeadlockError",

@@ -38,6 +38,7 @@ from repro.simmpi.backends.base import Backend
 from repro.simmpi.backends.procs import ProcsBackend
 from repro.simmpi.backends.serial import SerialBackend
 from repro.simmpi.backends.threads import ThreadsBackend
+from repro.simmpi.topology import Communicator, create_communicator
 
 #: Environment variable consulted when ``create_runtime(backend=None)``.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -70,6 +71,7 @@ def create_runtime(
     *,
     nprocs: int,
     meter_compute: bool = True,
+    comm: Union[str, None, Communicator] = None,
 ) -> Backend:
     """Create an execution backend by name (chainermn-style factory).
 
@@ -84,6 +86,12 @@ def create_runtime(
         Number of simulated MPI ranks.
     meter_compute:
         Forwarded to the backend; see :class:`Backend`.
+    comm:
+        Communicator strategy for topology-aware metering — a spec string
+        (``"flat"``, ``"hierarchical:8"``, ...), a
+        :class:`~repro.simmpi.topology.Communicator` instance, or None to
+        honor ``$REPRO_COMM`` falling back to ``"flat"``.  See
+        :mod:`repro.simmpi.topology`.
     """
     if isinstance(backend, Backend):
         if backend.nprocs != nprocs:
@@ -91,6 +99,8 @@ def create_runtime(
                 f"backend instance has nprocs={backend.nprocs}, "
                 f"requested {nprocs}"
             )
+        if comm is not None:
+            backend.comm_strategy = create_communicator(comm, nprocs=nprocs)
         return backend
     name = backend if backend is not None else default_backend()
     try:
@@ -100,7 +110,9 @@ def create_runtime(
             f"unknown execution backend {name!r}; "
             f"valid choices: {available_backends()}"
         ) from None
-    return cls(nprocs, meter_compute=meter_compute)
+    rt = cls(nprocs, meter_compute=meter_compute)
+    rt.comm_strategy = create_communicator(comm, nprocs=nprocs)
+    return rt
 
 
 register_backend(SerialBackend.name, SerialBackend)

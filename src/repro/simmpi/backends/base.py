@@ -31,14 +31,14 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.simmpi.errors import RemoteRankError
-from repro.simmpi.metrics import CollectiveEvent, CommStats
+from repro.simmpi.metrics import CollectiveEvent, CommStats, TierMetering
 
 
 class _Pending:
     """State of the collective currently being assembled (in-process)."""
 
     __slots__ = ("op", "tag", "contribs", "nbytes", "compute", "work",
-                 "arrived", "results")
+                 "tiers", "arrived", "results")
 
     def __init__(self, nprocs: int, op: str, tag: str) -> None:
         self.op = op
@@ -47,6 +47,9 @@ class _Pending:
         self.nbytes = np.zeros(nprocs, dtype=np.int64)
         self.compute = np.zeros(nprocs, dtype=np.float64)
         self.work = np.zeros(nprocs, dtype=np.float64)
+        #: Per-rank (intra, inter, wire_intra, wire_inter) tuples deposited
+        #: by tiered communicator strategies; all-None under ``flat``.
+        self.tiers: List[Optional[tuple]] = [None] * nprocs
         self.arrived = 0
         self.results: Optional[List[Any]] = None
 
@@ -78,6 +81,11 @@ class Backend(ABC):
         #: before every collective deposit so deterministic crashes/delays
         #: can be planted at exact supersteps on every backend.
         self.fault_plan: Optional[Any] = None
+        #: Communicator strategy (see :mod:`repro.simmpi.topology`) that
+        #: classifies each collective's traffic into machine tiers.  None
+        #: or a non-tiered strategy keeps the historical flat metering;
+        #: set by :func:`repro.simmpi.backends.create_runtime`.
+        self.comm_strategy: Optional[Any] = None
         #: Optional :class:`repro.ft.checkpoint.CkptCommitter` (duck-typed:
         #: ``commit(stats)``).  Invoked in the driver/parent process right
         #: after a ``checkpoint`` collective is recorded — the process that
@@ -112,17 +120,22 @@ class Backend(ABC):
         execute: Callable[[List[Any]], List[Any]],
         compute_seconds: float,
         work_units: float = 0.0,
+        tier_bytes: Optional[tuple] = None,
     ) -> Any:
         """Deposit ``contribution`` for ``op``; block until all ranks match.
 
         ``execute`` maps the full list of contributions (indexed by rank) to
         a list of per-rank results; it runs exactly once per superstep.
         ``nbytes_sent`` is this rank's off-rank payload for the metering
-        convention documented in :mod:`repro.simmpi.metrics`.
+        convention documented in :mod:`repro.simmpi.metrics`;
+        ``tier_bytes`` is the strategy's optional ``(intra, inter,
+        wire_intra, wire_inter)`` classification of that payload.
         """
         self._fault_check(rank, op, tag)
         if self.nprocs == 1:
             results = execute([contribution])
+            # single-rank runs meter zero off-rank bytes, so there is no
+            # traffic to classify into tiers either
             self._record(op, tag,
                          np.zeros(1, dtype=np.int64),
                          np.array([compute_seconds]),
@@ -130,7 +143,7 @@ class Backend(ABC):
             return results[0]
         return self._collective_parallel(
             rank, op, tag, contribution, nbytes_sent, execute,
-            compute_seconds, work_units,
+            compute_seconds, work_units, tier_bytes,
         )
 
     def _collective_parallel(
@@ -143,11 +156,20 @@ class Backend(ABC):
         execute: Callable[[List[Any]], List[Any]],
         compute_seconds: float,
         work_units: float,
+        tier_bytes: Optional[tuple] = None,
     ) -> Any:
         raise NotImplementedError(
             f"{type(self).__name__} does not execute collectives in the "
             "driver process; ranks use their own endpoints"
         )
+
+    @staticmethod
+    def _tier_matrix(tier_list: Sequence[Optional[tuple]]):
+        """Stack per-rank tier tuples into an ``(nprocs, 4)`` int64 matrix,
+        or None if any rank deposited without tier metering (flat)."""
+        if any(t is None for t in tier_list):
+            return None
+        return np.asarray(tier_list, dtype=np.int64)
 
     def _record(
         self,
@@ -156,10 +178,21 @@ class Backend(ABC):
         bytes_sent: np.ndarray,
         compute_seconds: np.ndarray,
         work_units: np.ndarray,
+        tiers: Optional[np.ndarray] = None,
     ) -> None:
+        tier_view: Optional[TierMetering] = None
+        if tiers is not None and self.comm_strategy is not None:
+            intra_hops, inter_hops = self.comm_strategy.hops(op)
+            tier_view = TierMetering(
+                intra_bytes=tiers[:, 0], inter_bytes=tiers[:, 1],
+                wire_intra=tiers[:, 2], wire_inter=tiers[:, 3],
+                intra_hops=intra_hops, inter_hops=inter_hops,
+                node_of=self.comm_strategy.node_map,
+            )
         self.stats.record(CollectiveEvent(
             op=op, tag=tag, bytes_sent=bytes_sent,
             compute_seconds=compute_seconds, work_units=work_units,
+            tiers=tier_view,
         ))
         if op == "checkpoint" and self.ckpt_committer is not None:
             self.ckpt_committer.commit(self.stats)

@@ -282,12 +282,15 @@ class _RankEndpoint:
     """Rank-side collective engine; satisfies SimComm's runtime protocol."""
 
     def __init__(self, session: _Session, rank: int, meter_compute: bool,
-                 fault_plan: Any = None) -> None:
+                 fault_plan: Any = None, comm_strategy: Any = None) -> None:
         self._session = session
         self.rank = rank
         self.nprocs = session.nprocs
         self.meter_compute = meter_compute
         self._fault_plan = fault_plan
+        #: SimComm reads this to compute rank-side tier contributions,
+        #: exactly as it does off the in-process backends.
+        self.comm_strategy = comm_strategy
         self._step = 0
 
     # SimComm calls this with the same signature as Backend.collective.
@@ -301,13 +304,16 @@ class _RankEndpoint:
         execute: Callable[[List[Any]], List[Any]],
         compute_seconds: float,
         work_units: float = 0.0,
+        tier_bytes: Any = None,
     ) -> Any:
         if self._fault_plan is not None:
             # can_die=True: ranks are real processes here, so a "die" fault
             # is an actual os._exit mid-superstep, not a raised exception.
             self._fault_plan.check(self.rank, op, tag, can_die=True)
+        if tier_bytes is not None:
+            tier_bytes = tuple(int(t) for t in tier_bytes)
         action = ("coll", op, tag, int(nbytes_sent), float(compute_seconds),
-                  float(work_units), contribution)
+                  float(work_units), contribution, tier_bytes)
         kind, value = self._superstep(action, execute)
         assert kind == "result"
         return value
@@ -391,6 +397,9 @@ class _RankEndpoint:
         except BaseException as exc:
             sess.set_failure(_picklable(exc))
             return
+        tier_rows = [a[7] for a in actions]
+        tiers = (None if any(t is None for t in tier_rows)
+                 else np.asarray(tier_rows, dtype=np.int64))
         sess.stats_queue.put((
             self._step,
             actions[0][1],  # op
@@ -398,6 +407,7 @@ class _RankEndpoint:
             np.array([a[3] for a in actions], dtype=np.int64),
             np.array([a[4] for a in actions], dtype=np.float64),
             np.array([a[5] for a in actions], dtype=np.float64),
+            tiers,
         ))
         for r, res in enumerate(results):
             sess.response[r].write(("result", res))
@@ -413,6 +423,7 @@ def _rank_process_main(
     rank: int,
     meter_compute: bool,
     fault_plan: Any,
+    comm_strategy: Any,
     fn: Callable[..., Any],
     args: tuple,
     rank_args: Optional[Sequence[Sequence[Any]]],
@@ -420,7 +431,8 @@ def _rank_process_main(
 ) -> None:
     from repro.simmpi.comm import SimComm
 
-    endpoint = _RankEndpoint(session, rank, meter_compute, fault_plan)
+    endpoint = _RankEndpoint(session, rank, meter_compute, fault_plan,
+                             comm_strategy)
     try:
         comm = SimComm(endpoint, rank)
         extra = tuple(rank_args[rank]) if rank_args is not None else ()
@@ -481,7 +493,7 @@ class ProcsBackend(Backend):
                 self._ctx.Process(
                     target=_rank_process_main,
                     args=(session, r, self.meter_compute, self.fault_plan,
-                          fn, args, rank_args, kwargs),
+                          self.comm_strategy, fn, args, rank_args, kwargs),
                     daemon=True,
                     name=f"simmpi-proc-{r}",
                 )
@@ -510,9 +522,9 @@ class ProcsBackend(Backend):
         while True:
             drained = False
             while not session.stats_queue.empty():
-                _step, op, tag, nbytes, compute, work = \
+                _step, op, tag, nbytes, compute, work, tiers = \
                     session.stats_queue.get()
-                self._record(op, tag, nbytes, compute, work)
+                self._record(op, tag, nbytes, compute, work, tiers=tiers)
                 drained = True
             if not any(p.is_alive() for p in procs):
                 break
@@ -524,8 +536,9 @@ class ProcsBackend(Backend):
             if not drained:
                 time.sleep(0.001)
         while not session.stats_queue.empty():
-            _step, op, tag, nbytes, compute, work = session.stats_queue.get()
-            self._record(op, tag, nbytes, compute, work)
+            _step, op, tag, nbytes, compute, work, tiers = \
+                session.stats_queue.get()
+            self._record(op, tag, nbytes, compute, work, tiers=tiers)
 
     def _collect(self, session: _Session, procs: list) -> List[Any]:
         results: List[Any] = [None] * self.nprocs

@@ -87,6 +87,7 @@ class SerialBackend(Backend):
         execute: Callable[[List[Any]], List[Any]],
         compute_seconds: float,
         work_units: float,
+        tier_bytes: Optional[tuple] = None,
     ) -> Any:
         if self._failure is not None:
             raise RemoteRankError(f"rank {rank}: aborted") from self._failure
@@ -113,6 +114,7 @@ class SerialBackend(Backend):
         pending.nbytes[rank] = nbytes_sent
         pending.compute[rank] = compute_seconds
         pending.work[rank] = work_units
+        pending.tiers[rank] = tier_bytes
         pending.arrived += 1
         self._in_collective[rank] = True
 
@@ -123,7 +125,8 @@ class SerialBackend(Backend):
                 self._fail(exc)
                 raise
             self._record(op, pending.tag, pending.nbytes,
-                         pending.compute, pending.work)
+                         pending.compute, pending.work,
+                         tiers=self._tier_matrix(pending.tiers))
             self._pending = None
             for r in range(self.nprocs):
                 self._in_collective[r] = False

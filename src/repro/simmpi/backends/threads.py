@@ -71,6 +71,7 @@ class ThreadsBackend(Backend):
         execute: Callable[[List[Any]], List[Any]],
         compute_seconds: float,
         work_units: float,
+        tier_bytes: Optional[tuple] = None,
     ) -> Any:
         with self._cond:
             if self._failure is not None:
@@ -98,6 +99,7 @@ class ThreadsBackend(Backend):
             pending.nbytes[rank] = nbytes_sent
             pending.compute[rank] = compute_seconds
             pending.work[rank] = work_units
+            pending.tiers[rank] = tier_bytes
             pending.arrived += 1
             my_generation = self._generation
 
@@ -108,7 +110,8 @@ class ThreadsBackend(Backend):
                     self._fail(exc)
                     raise
                 self._record(op, pending.tag, pending.nbytes,
-                             pending.compute, pending.work)
+                             pending.compute, pending.work,
+                             tiers=self._tier_matrix(pending.tiers))
                 self._pending = None
                 self._generation += 1
                 self._cond.notify_all()

@@ -83,6 +83,14 @@ class SimComm:
         self.size = runtime.nprocs
         self._tag = ""
         self._work = 0.0
+        #: Communicator strategy (see :mod:`repro.simmpi.topology`).  Only
+        #: tiered strategies cost anything: the flat default short-circuits
+        #: every tier computation, keeping the historical fast path.
+        self._comm_strategy = getattr(runtime, "comm_strategy", None)
+        self._tiered = bool(
+            self._comm_strategy is not None
+            and getattr(self._comm_strategy, "tiered", False)
+        )
         #: Collectives completed by this rank so far.  A BSP program keeps
         #: this identical across ranks; checkpoints record it so a resumed
         #: run knows where its re-executed prologue (graph build) ends.
@@ -131,19 +139,39 @@ class SimComm:
         contribution: Any,
         nbytes_sent: int,
         execute: Callable[[List[Any]], List[Any]],
+        *,
+        dest_bytes: Optional[np.ndarray] = None,
+        root: Optional[int] = None,
+        counts: bool = False,
     ) -> Any:
         delta = self._compute_delta()
         work = self._work
         self._work = 0.0
+        tier = None
+        if self._tiered:
+            tier = self._comm_strategy.tier_contribution(
+                op, self.rank, nbytes_sent,
+                dest_bytes=dest_bytes, root=root, counts=counts,
+            )
         try:
             result = self._runtime.collective(
                 self.rank, op, self._tag, contribution, nbytes_sent, execute,
-                delta, work,
+                delta, work, tier_bytes=tier,
             )
             self.event_count += 1
             return result
         finally:
             self._mark_resume()
+
+    def _dest_split(self, cts: np.ndarray, item_bytes: int) -> Optional[np.ndarray]:
+        """Per-destination payload bytes (self slot zeroed) for the tier
+        classification of destination-addressed collectives; None when the
+        strategy is flat (nothing would read it)."""
+        if not self._tiered:
+            return None
+        dest = cts * np.int64(item_bytes)
+        dest[self.rank] = 0
+        return dest
 
     # -- synchronization ------------------------------------------------------
 
@@ -190,7 +218,8 @@ class SimComm:
             value = contribs[root]
             return [value] * len(contribs)
 
-        return self._collective("bcast", obj if mine else None, nbytes, execute)
+        return self._collective("bcast", obj if mine else None, nbytes,
+                                execute, root=root)
 
     def allgather(self, obj: Any) -> List[Any]:
         """Gather one picklable object per rank onto every rank."""
@@ -210,15 +239,20 @@ class SimComm:
             out[root] = list(contribs)
             return out
 
-        return self._collective("gather", obj, nbytes, execute)
+        return self._collective("gather", obj, nbytes, execute, root=root)
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        dest = None
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError(
                     f"scatter at root needs exactly {self.size} items"
                 )
-            nbytes = sum(_obj_nbytes(o) for i, o in enumerate(objs) if i != root)
+            per_dest = np.array([_obj_nbytes(o) for o in objs], dtype=np.int64)
+            per_dest[root] = 0
+            nbytes = int(per_dest.sum())
+            if self._tiered:
+                dest = per_dest
         else:
             nbytes = 0
 
@@ -226,7 +260,8 @@ class SimComm:
             return list(contribs[root])
 
         return self._collective(
-            "scatter", list(objs) if self.rank == root else None, nbytes, execute
+            "scatter", list(objs) if self.rank == root else None, nbytes,
+            execute, dest_bytes=dest, root=root,
         )
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
@@ -259,7 +294,7 @@ class SimComm:
                 out.append(value if r == root else value.copy())
             return out
 
-        return self._collective("bcast", arr, nbytes, execute)
+        return self._collective("bcast", arr, nbytes, execute, root=root)
 
     def Allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         """Element-wise all-reduce of equal-shape NumPy arrays."""
@@ -286,7 +321,7 @@ class SimComm:
             out[root] = total
             return out
 
-        return self._collective("reduce", arr, nbytes, execute)
+        return self._collective("reduce", arr, nbytes, execute, root=root)
 
     def Allgatherv(self, array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Concatenate per-rank 1-D arrays onto every rank.
@@ -321,7 +356,7 @@ class SimComm:
             out[root] = (merged, counts)
             return out
 
-        return self._collective("gatherv", arr, nbytes, execute)
+        return self._collective("gatherv", arr, nbytes, execute, root=root)
 
     def Scatterv(
         self, array: Optional[np.ndarray], counts: Optional[np.ndarray], root: int = 0
@@ -336,9 +371,11 @@ class SimComm:
                 raise ValueError("Scatterv counts do not sum to array length")
             nbytes = int(arr.nbytes - (cts[root] * arr.itemsize))
             payload = (arr, cts)
+            dest = self._dest_split(cts, arr.itemsize)
         else:
             nbytes = 0
             payload = None
+            dest = None
 
         def execute(contribs: List[Any]) -> List[Any]:
             arr_, cts_ = contribs[root]
@@ -350,7 +387,8 @@ class SimComm:
                 for r in range(len(contribs))
             ]
 
-        return self._collective("scatterv", payload, nbytes, execute)
+        return self._collective("scatterv", payload, nbytes, execute,
+                                dest_bytes=dest, root=root)
 
     def Alltoall(self, array: np.ndarray) -> np.ndarray:
         """Exchange one item (or fixed-size row) per rank pair.
@@ -358,6 +396,12 @@ class SimComm:
         ``array`` must have leading dimension ``size``; returns an array of
         the same shape whose ``r``-th slot is what rank ``r`` sent to us.
         """
+        return self._alltoall_impl(array, counts=False)
+
+    def _alltoall_impl(self, array: np.ndarray, *, counts: bool) -> np.ndarray:
+        """Alltoall body; ``counts=True`` marks the Alltoallv-internal
+        count-header exchange, whose inter-node wire bytes the hierarchical
+        strategy models as re-encoded ``uint32`` entries."""
         arr = np.ascontiguousarray(array)
         if arr.shape[0] != self.size:
             raise ValueError(
@@ -365,12 +409,16 @@ class SimComm:
             )
         slot = arr.nbytes // self.size if self.size else 0
         nbytes = arr.nbytes - slot  # exclude the self-directed slot
+        dest = self._dest_split(
+            np.ones(self.size, dtype=np.int64), slot
+        ) if self._tiered else None
 
         def execute(contribs: List[Any]) -> List[Any]:
             stacked = np.stack(contribs)  # [src, dst, ...]
             return [np.ascontiguousarray(stacked[:, r]) for r in range(len(contribs))]
 
-        return self._collective("alltoall", arr, nbytes, execute)
+        return self._collective("alltoall", arr, nbytes, execute,
+                                dest_bytes=dest, counts=counts)
 
     def Alltoallv(
         self, sendbuf: np.ndarray, sendcounts: np.ndarray
@@ -398,8 +446,9 @@ class SimComm:
             raise ValueError(
                 f"sendcounts sum {cts.sum()} != sendbuf length {buf.shape[0]}"
             )
-        recvcounts = self.Alltoall(cts)
+        recvcounts = self._alltoall_impl(cts, counts=True)
         offrank = int(buf.nbytes - cts[self.rank] * buf.itemsize)
+        dest = self._dest_split(cts, buf.itemsize)
 
         def execute(contribs: List[Any]) -> List[Any]:
             nprocs = len(contribs)
@@ -423,7 +472,7 @@ class SimComm:
             return results
 
         recvbuf, rcounts = self._collective(
-            "alltoallv", (buf, cts), offrank, execute
+            "alltoallv", (buf, cts), offrank, execute, dest_bytes=dest
         )
         # cross-check the pre-exchanged counts against the payload split
         if not np.array_equal(rcounts, recvcounts):
@@ -466,9 +515,10 @@ class SimComm:
             raise ValueError(
                 f"sendcounts sum {cts.sum()} != record count {nrec}"
             )
-        recvcounts = self.Alltoall(cts)
+        recvcounts = self._alltoall_impl(cts, counts=True)
         record_bytes = sum(b.itemsize for b in bufs)
         offrank = int((nrec - cts[self.rank]) * record_bytes)
+        dest = self._dest_split(cts, record_bytes)
 
         def execute(contribs: List[Any]) -> List[Any]:
             nprocs = len(contribs)
@@ -512,7 +562,7 @@ class SimComm:
             return results
 
         recv_fields, rcounts = self._collective(
-            "alltoallv", (bufs, cts), offrank, execute
+            "alltoallv", (bufs, cts), offrank, execute, dest_bytes=dest
         )
         if not np.array_equal(rcounts, recvcounts):
             raise AssertionError("Alltoallv_fields internal count mismatch")

@@ -18,6 +18,73 @@ import numpy as np
 
 
 @dataclass(frozen=True)
+class TierMetering:
+    """Two-level (node-aware) view of one collective's traffic.
+
+    Attached to a :class:`CollectiveEvent` by tiered communicator
+    strategies (see :mod:`repro.simmpi.topology`); ``None`` under the
+    default ``flat`` strategy.  Two distinct models live here:
+
+    * ``intra_bytes`` / ``inter_bytes`` — a **sum-preserving
+      classification** of the event's metered payload by destination
+      locality: ``intra_bytes + inter_bytes == bytes_sent`` per rank, so
+      every existing byte total still adds up and the split can be read as
+      "of the bytes we already count, how many stay on-node".
+    * ``wire_intra`` / ``wire_inter`` — the **two-level protocol's wire
+      model**: what the hierarchical exchange itself would move over
+      shared memory (gather/scatter legs included) and over the network
+      (leaders-only reductions, aggregated node-pair messages, narrowed
+      count headers).  These need *not* sum to ``bytes_sent`` — they are
+      the quantities the tiered machine models price.
+
+    ``intra_hops`` / ``inter_hops`` carry the round's latency structure,
+    and ``node_of`` maps each rank to its node (shared across events of a
+    run) so per-node wire aggregates can be formed.
+
+    Deliberately **excluded** from :meth:`CommStats.signature`: tier
+    metering is supplementary, so ``flat`` and ``hierarchical`` runs of
+    the same program keep bit-identical communication records.
+    """
+
+    intra_bytes: np.ndarray
+    inter_bytes: np.ndarray
+    wire_intra: np.ndarray
+    wire_inter: np.ndarray
+    intra_hops: int
+    inter_hops: int
+    node_of: np.ndarray
+
+    @property
+    def total_intra(self) -> int:
+        return int(self.intra_bytes.sum())
+
+    @property
+    def total_inter(self) -> int:
+        return int(self.inter_bytes.sum())
+
+    @property
+    def total_wire_intra(self) -> int:
+        return int(self.wire_intra.sum())
+
+    @property
+    def total_wire_inter(self) -> int:
+        return int(self.wire_inter.sum())
+
+    @property
+    def max_wire_intra(self) -> int:
+        return int(self.wire_intra.max()) if self.wire_intra.size else 0
+
+    def max_node_wire_inter(self) -> int:
+        """Busiest *node's* injected inter-node wire bytes — the bandwidth
+        bound of the inter tier (a node's NIC carries the sum of its
+        ranks' inter traffic, which under two-level is leader-injected)."""
+        if self.wire_inter.size == 0:
+            return 0
+        per_node = np.bincount(self.node_of, weights=self.wire_inter)
+        return int(per_node.max()) if per_node.size else 0
+
+
+@dataclass(frozen=True)
 class CollectiveEvent:
     """One matched collective across all ranks.
 
@@ -42,6 +109,10 @@ class CollectiveEvent:
         rendezvous (e.g. edges touched).  Kernels that charge work run with
         compute metering off, making their modeled times exactly
         reproducible; the machine model prices a unit via ``gamma``.
+    tiers:
+        Optional :class:`TierMetering` attached by a tiered communicator
+        strategy (``None`` under ``flat``).  Supplementary — excluded from
+        :meth:`CommStats.signature` so the record stays strategy-invariant.
     """
 
     op: str
@@ -49,6 +120,7 @@ class CollectiveEvent:
     bytes_sent: np.ndarray
     compute_seconds: np.ndarray
     work_units: Optional[np.ndarray] = None
+    tiers: Optional[TierMetering] = None
 
     @property
     def total_bytes(self) -> int:
@@ -161,6 +233,54 @@ class CommStats:
             if e.op in ("alltoall", "alltoallv"):
                 out[e.tag] = out.get(e.tag, 0) + e.total_bytes
         return out
+
+    # -- tiered views (topology-aware strategies) --------------------------
+
+    @property
+    def tiered(self) -> bool:
+        """True if any event carries two-level tier metering."""
+        return any(e.tiers is not None for e in self.events)
+
+    def tier_bytes_by_op(self) -> Dict[str, tuple]:
+        """Per-op ``(intra, inter)`` classification of metered bytes.
+
+        Sum-preserving by construction: ``intra + inter`` equals the op's
+        :meth:`bytes_by_op` entry for tiered events; untiered events (flat
+        strategy, or merged foreign records) count fully as inter, matching
+        the flat model's one-rank-per-node assumption.
+        """
+        out: Dict[str, tuple] = {}
+        for e in self.events:
+            intra, inter = out.get(e.op, (0, 0))
+            if e.tiers is not None:
+                intra += e.tiers.total_intra
+                inter += e.tiers.total_inter
+            else:
+                inter += e.total_bytes
+            out[e.op] = (intra, inter)
+        return out
+
+    def modeled_inter_bytes(self) -> int:
+        """Total modeled inter-node **wire** bytes of the run.
+
+        For tiered events this is the two-level protocol's network
+        traffic (aggregated node-pair messages, leaders-only reductions,
+        narrowed count headers); untiered events contribute their full
+        payload — under ``flat`` every rank is its own node, so every
+        metered byte crosses the network.  The benchmark headline
+        (``hierarchy_volume``) compares this quantity across strategies.
+        """
+        return sum(
+            e.tiers.total_wire_inter if e.tiers is not None else e.total_bytes
+            for e in self.events
+        )
+
+    def modeled_intra_bytes(self) -> int:
+        """Total modeled intra-node (shared-memory) wire bytes."""
+        return sum(
+            e.tiers.total_wire_intra for e in self.events
+            if e.tiers is not None
+        )
 
     @property
     def total_work(self) -> float:

@@ -42,6 +42,7 @@ def run_spmd(
     rank_args: Optional[Sequence[Sequence[Any]]] = None,
     meter_compute: bool = True,
     backend: Union[str, None, Backend] = None,
+    comm: Any = None,
     **kwargs: Any,
 ) -> tuple[List[Any], CommStats]:
     """One-shot convenience: run ``fn`` on ``nprocs`` ranks, return results
@@ -49,9 +50,12 @@ def run_spmd(
 
     ``backend`` selects the execution backend by name (``serial`` /
     ``threads`` / ``procs``); None honors ``$REPRO_BACKEND`` and defaults
-    to ``threads``.
+    to ``threads``.  ``comm`` selects the communicator strategy for
+    topology-aware metering (``flat`` / ``hierarchical[:R[xK]]``); None
+    honors ``$REPRO_COMM`` and defaults to ``flat``.
     """
-    rt = create_runtime(backend, nprocs=nprocs, meter_compute=meter_compute)
+    rt = create_runtime(backend, nprocs=nprocs, meter_compute=meter_compute,
+                        comm=comm)
     try:
         out = rt.run(fn, *args, rank_args=rank_args, **kwargs)
     finally:

@@ -65,15 +65,22 @@ class MachineModel:
     gamma: float = 4.0e-9
     name: str = "generic"
 
-    def collective_cost(self, event: CollectiveEvent, nprocs: int) -> float:
-        """Communication cost (seconds) of one matched collective."""
+    def cost_parts(
+        self, event: CollectiveEvent, nprocs: int
+    ) -> "tuple[float, float]":
+        """``(latency, bandwidth)`` cost components of one collective."""
         if nprocs <= 1:
-            return 0.0
+            return 0.0, 0.0
         if event.op in _PAIRWISE_OPS:
             hops = nprocs - 1
         else:
             hops = max(1, ceil(log2(nprocs)))
-        return self.alpha * hops + self.beta * event.max_bytes
+        return self.alpha * hops, self.beta * event.max_bytes
+
+    def collective_cost(self, event: CollectiveEvent, nprocs: int) -> float:
+        """Communication cost (seconds) of one matched collective."""
+        latency, bandwidth = self.cost_parts(event, nprocs)
+        return latency + bandwidth
 
 
 #: Gemini-interconnect-flavored constants for the Blue Waters analog.
@@ -97,6 +104,62 @@ CLUSTER_LIKE = MachineModel(
 SINGLE_NODE_MPI = MachineModel(
     alpha=5.0e-7, beta=1.0 / 10.0e9, compute_scale=1.0, gamma=4.0e-9,
     name="single-node-mpi",
+)
+
+
+@dataclass(frozen=True)
+class TieredMachineModel(MachineModel):
+    """Two-tier alpha-beta constants for topology-aware metering.
+
+    The inherited ``alpha``/``beta`` are the **inter-node** (network)
+    constants; ``alpha_intra``/``beta_intra`` price the intra-node
+    (shared-memory) tier.  Events carrying
+    :class:`~repro.simmpi.metrics.TierMetering` (produced by the
+    ``hierarchical`` communicator strategy) are priced per tier:
+
+    ``cost = alpha_intra * intra_hops + alpha * inter_hops
+           + beta_intra * max_r wire_intra(r)
+           + beta * max_n sum_{r in node n} wire_inter(r)``
+
+    — the intra bandwidth term is bound by the busiest *rank's*
+    shared-memory traffic, the inter term by the busiest *node's* NIC
+    (under two-level exchange a node's network traffic is leader-injected,
+    so summing the node's ranks is exact).  Events without tier metering
+    (``flat`` strategy, barrier-only rounds) fall back to the single-tier
+    formula at the inter-node constants, which is exactly the base
+    :class:`MachineModel` behavior — so a tiered flavor is a drop-in
+    replacement.
+    """
+
+    #: Per-hop latency of the shared-memory tier (seconds).
+    alpha_intra: float = 5.0e-7
+    #: Seconds per byte of the busiest rank's intra-node wire traffic.
+    beta_intra: float = 1.0 / 80.0e9
+
+    def cost_parts(
+        self, event: CollectiveEvent, nprocs: int
+    ) -> "tuple[float, float]":
+        tiers = event.tiers
+        if tiers is None:
+            return super().cost_parts(event, nprocs)
+        latency = (self.alpha_intra * tiers.intra_hops
+                   + self.alpha * tiers.inter_hops)
+        bandwidth = (self.beta_intra * tiers.max_wire_intra
+                     + self.beta * tiers.max_node_wire_inter())
+        return latency, bandwidth
+
+
+#: Blue Waters analog with the node structure made explicit: one simulated
+#: rank = one core-group of an XE6 node rather than a whole node.  The
+#: inter-node constants match :data:`BLUE_WATERS_LIKE` (Gemini: ~1.5 us,
+#: ~6 GB/s injection); the intra-node tier is shared memory (~0.5 us,
+#: ~80 GB/s — HyperTransport-era socket bandwidth), giving the realistic
+#: ~13x bandwidth gap between tiers (10-20x is typical across machines).
+#: ``gamma`` is per-rank single-core (ranks no longer bundle 16 threads).
+BLUE_WATERS_TIERED = TieredMachineModel(
+    alpha=1.5e-6, beta=1.0 / 6.0e9, compute_scale=1.0, gamma=4.0e-9,
+    alpha_intra=5.0e-7, beta_intra=1.0 / 80.0e9,
+    name="blue-waters-tiered",
 )
 
 
@@ -126,10 +189,9 @@ class TimeModel:
         for e in stats.events:
             compute += self.machine.compute_scale * e.max_compute
             work += self.machine.gamma * e.max_work
-            if p > 1:
-                hops = (p - 1) if e.op in _PAIRWISE_OPS else max(1, ceil(log2(p)))
-                latency += self.machine.alpha * hops
-                bandwidth += self.machine.beta * e.max_bytes
+            lat, bw = self.machine.cost_parts(e, p)
+            latency += lat
+            bandwidth += bw
         return {
             "compute": compute,
             "work": work,

@@ -1,0 +1,197 @@
+"""Two-level (node-aware) communicator strategy.
+
+Models the hierarchical exchange every scalable distributed partitioner
+implements (dKaMinPar's node-aggregated message queues, ChainerMN's
+``hierarchical`` communicator): ranks sharing a node move data over shared
+memory, and the node's *leader* carries one aggregated message per remote
+node instead of ``ranks_per_node**2`` rank-pair messages.
+
+For an Alltoallv the protocol is:
+
+1. **intra-node gather** — every rank hands its off-node payload to its
+   node leader (shared-memory copy);
+2. **inter-node exchange** — each leader sends one aggregated message per
+   remote node, carrying all rank-pair payloads between the two nodes,
+   with the per-rank-pair sub-counts re-encoded as ``uint32`` headers;
+3. **intra-node scatter** — the receiving leader splits the aggregate and
+   delivers each piece to its destination rank (shared-memory copy).
+
+Rooted and reduction collectives follow the same shape: reduce/gather to
+the leader inside the node, run the collective among leaders only, fan the
+result back out.
+
+Payload movement in the simulator is untouched — the rendezvous and its
+``execute`` closure run exactly as under ``flat``, so partitions and the
+:meth:`~repro.simmpi.metrics.CommStats.signature` record stay
+bit-identical.  What this class computes is the *metering*: a
+sum-preserving intra/inter classification of each rank's metered bytes,
+plus the separate ``wire_intra``/``wire_inter`` model of what the
+two-level protocol itself would put on each wire.  The tiered machine
+models (:class:`repro.simmpi.timing.TieredMachineModel`) price the wire
+model per tier; the classification feeds the volume breakdowns.
+
+Per-op rules (``b`` = the rank's metered ``bytes_sent``):
+
+* **destination-addressed** (``alltoall``, ``alltoallv``, ``scatter``,
+  ``scatterv``): ``intra``/``inter`` split ``b`` by the destination's
+  node.  Wire: the intra bytes move once locally; a non-leader's inter
+  bytes pay an extra local gather hop to the leader; off-node bytes whose
+  destination is not its node's leader pay the remote scatter hop; count
+  headers (the ``Alltoall`` a payload exchange is prefixed with) cross
+  the network re-encoded at 4 bytes per off-node entry.
+* **reductions** (``allreduce``, ``reduce``, ``exscan``, ``barrier``):
+  non-leaders reduce onto their leader (intra); only leaders enter the
+  inter-node phase, so a node injects one contribution instead of
+  ``node_size`` — the classic hierarchical-allreduce saving.
+* **concatenations** (``allgather``, ``allgatherv``): every rank's
+  contribution must reach every node, so ``b`` is inter on multi-node
+  topologies; non-leaders pay the local gather hop and leaders the local
+  fan-out hop.
+* **rooted one-to-all / all-to-one** (``bcast``, ``gather``, ``gatherv``):
+  classified by whether the payload crosses the root's node boundary.
+* **``checkpoint``**: always inter — snapshot payloads leave the node for
+  stable storage regardless of topology (documented exception to the
+  node-locality rules).
+* anything else (unknown/third-party ops): conservatively all-inter.
+
+Latency hops per round: pairwise ops cost ``n_nodes - 1`` inter hops plus
+``3 * (max_node_size - 1)`` intra hops (gather, local exchange, scatter);
+tree ops cost ``ceil(log2 n_nodes)`` inter plus ``2 * ceil(log2
+max_node_size)`` intra (reduce up, broadcast down).  A single-node
+topology degenerates to all-intra; one-rank nodes degenerate to ``flat``.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.simmpi.topology.registry import Communicator, register_communicator
+
+#: Ops whose payload is addressed to explicit destination ranks.
+_DEST_OPS = frozenset({"alltoall", "alltoallv", "scatter", "scatterv"})
+#: Ops reduced to a single value (leaders-only inter phase).
+_REDUCE_OPS = frozenset({"allreduce", "reduce", "exscan", "barrier"})
+#: Ops concatenating every rank's contribution onto every rank.
+_CONCAT_OPS = frozenset({"allgather", "allgatherv"})
+_GATHER_OPS = frozenset({"gather", "gatherv"})
+#: Pairwise exchange patterns (latency scales with participant count).
+_PAIRWISE_OPS = frozenset({"alltoall", "alltoallv"})
+
+#: Wire bytes per count-header entry after uint32 re-encoding.  Ghost
+#: exchange counts are int64 rank-side, but no aggregated node-pair
+#: message carries anywhere near 2**32 records, so the two-level protocol
+#: ships the sub-counts narrowed — half the header traffic.
+COUNT_WIRE_BYTES = 4
+
+
+class HierarchicalCommunicator(Communicator):
+    """Node-aware two-level metering strategy."""
+
+    name = "hierarchical"
+    tiered = True
+
+    def __init__(self, topology) -> None:
+        super().__init__(topology)
+        self._leader_mask = np.zeros(topology.nprocs, dtype=bool)
+        self._leader_mask[::topology.ranks_per_node] = True
+
+    def tier_contribution(
+        self,
+        op: str,
+        rank: int,
+        nbytes: int,
+        dest_bytes: Optional[np.ndarray] = None,
+        root: Optional[int] = None,
+        counts: bool = False,
+    ) -> Tuple[int, int, int, int]:
+        topo = self.topology
+        b = int(nbytes)
+        multi = topo.multi_node
+        leader = topo.is_leader(rank)
+        my_node = topo.node_of(rank)
+
+        if op in _DEST_OPS and dest_bytes is not None:
+            dest = np.asarray(dest_bytes, dtype=np.int64)
+            node_map = self.node_map
+            same = node_map == my_node
+            same[rank] = False  # self slot carries no metered bytes
+            off = ~same
+            off[rank] = False
+            intra = int(dest[same].sum())
+            inter = int(dest[off].sum())
+            # wire model: local delivery + gather-to-leader for a
+            # non-leader's outbound inter bytes + remote scatter for
+            # off-node bytes not addressed to the remote leader
+            gather_leg = 0 if leader else inter
+            scatter_leg = int(dest[off & ~self._leader_mask].sum())
+            wire_intra = intra + gather_leg + scatter_leg
+            if counts:
+                wire_inter = COUNT_WIRE_BYTES * int(np.count_nonzero(off))
+            else:
+                wire_inter = inter
+            return intra, inter, wire_intra, wire_inter
+
+        if op in _REDUCE_OPS:
+            if not multi:
+                return b, 0, b, 0
+            if leader:
+                # leader injects the node's reduced value inter-node and
+                # fans the result back down if the node has peers
+                fanout = b if topo.node_size(my_node) > 1 else 0
+                return 0, b, fanout, b
+            return b, 0, b, 0
+
+        if op in _CONCAT_OPS:
+            if not multi:
+                return b, 0, b, 0
+            # the contribution must reach every node: inter by nature;
+            # non-leaders also pay the local gather, leaders the fan-out
+            local_leg = b if (not leader or topo.node_size(my_node) > 1) else 0
+            return 0, b, local_leg, b
+
+        if op == "bcast":
+            if root is None or rank != root or b == 0:
+                return 0, 0, 0, 0
+            if not multi:
+                return b, 0, b, 0
+            fanout = b if topo.node_size(my_node) > 1 else 0
+            return 0, b, fanout, b
+
+        if op in _GATHER_OPS:
+            if root is None or b == 0:
+                return 0, 0, 0, 0
+            if topo.same_node(rank, root):
+                return b, 0, b, 0
+            gather_leg = 0 if leader else b
+            return 0, b, gather_leg, b
+
+        if op == "checkpoint":
+            # snapshots leave the node for stable storage regardless of
+            # topology; non-leaders stage through the leader's writer
+            gather_leg = 0 if (leader or not multi) else b
+            return 0, b, gather_leg, b
+
+        # unknown op: conservatively treat every metered byte as inter
+        return (0, b, 0, b) if multi else (b, 0, b, 0)
+
+    def hops(self, op: str) -> Tuple[int, int]:
+        topo = self.topology
+        n_nodes = topo.n_nodes
+        width = topo.max_node_size
+        if op in _PAIRWISE_OPS:
+            intra = 3 * (width - 1)
+            inter = n_nodes - 1
+            if n_nodes == 1:
+                intra = width - 1  # no gather/scatter legs, plain local
+        else:
+            intra = 2 * (ceil(log2(width)) if width > 1 else 0)
+            inter = ceil(log2(n_nodes)) if n_nodes > 1 else 0
+            if n_nodes == 1:
+                intra = ceil(log2(width)) if width > 1 else 0
+        return intra, inter
+
+
+register_communicator(HierarchicalCommunicator.name, HierarchicalCommunicator)

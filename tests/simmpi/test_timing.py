@@ -1,18 +1,38 @@
-"""Alpha-beta machine-model math."""
+"""Alpha-beta machine-model math (single-tier and two-tier flavors)."""
 
 import numpy as np
 import pytest
 
-from repro.simmpi import CommStats, MachineModel, TimeModel
-from repro.simmpi.metrics import CollectiveEvent
+from repro.simmpi import (
+    BLUE_WATERS_TIERED,
+    CommStats,
+    MachineModel,
+    TieredMachineModel,
+    TimeModel,
+)
+from repro.simmpi.metrics import CollectiveEvent, TierMetering
 
 
-def _event(op, nbytes, compute, tag=""):
+def _event(op, nbytes, compute, tag="", tiers=None):
     return CollectiveEvent(
         op=op,
         tag=tag,
         bytes_sent=np.asarray(nbytes, dtype=np.int64),
         compute_seconds=np.asarray(compute, dtype=np.float64),
+        tiers=tiers,
+    )
+
+
+def _tiers(intra, inter, wire_intra, wire_inter, *, intra_hops, inter_hops,
+           node_of):
+    return TierMetering(
+        intra_bytes=np.asarray(intra, dtype=np.int64),
+        inter_bytes=np.asarray(inter, dtype=np.int64),
+        wire_intra=np.asarray(wire_intra, dtype=np.int64),
+        wire_inter=np.asarray(wire_inter, dtype=np.int64),
+        intra_hops=intra_hops,
+        inter_hops=inter_hops,
+        node_of=np.asarray(node_of, dtype=np.int32),
     )
 
 
@@ -64,6 +84,60 @@ def test_total_and_breakdown_consistent():
     assert breakdown["compute"] == pytest.approx(0.2 + 0.3)
     assert breakdown["latency"] == pytest.approx(1e-3 * (1 + 1))
     assert breakdown["bandwidth"] == pytest.approx(1e-6 * (8 + 100))
+
+
+def test_tiered_model_prices_each_tier():
+    m = TieredMachineModel(alpha=10.0, beta=2.0, alpha_intra=1.0,
+                           beta_intra=0.5)
+    tiers = _tiers(
+        intra=[4, 4, 0, 0], inter=[0, 0, 8, 8],
+        wire_intra=[6, 2, 0, 0], wire_inter=[0, 0, 8, 16],
+        intra_hops=3, inter_hops=2, node_of=[0, 0, 1, 1],
+    )
+    e = _event("alltoallv", [4, 4, 8, 8], [0, 0, 0, 0], tiers=tiers)
+    latency, bandwidth = m.cost_parts(e, 4)
+    # latency: 1.0 * 3 intra hops + 10.0 * 2 inter hops
+    assert latency == pytest.approx(1.0 * 3 + 10.0 * 2)
+    # bandwidth: busiest rank's shared-memory wire (6) at beta_intra,
+    # busiest node's injected network wire (node 1: 8 + 16) at beta
+    assert bandwidth == pytest.approx(0.5 * 6 + 2.0 * 24)
+    assert m.collective_cost(e, 4) == pytest.approx(latency + bandwidth)
+
+
+def test_tiered_model_falls_back_untiered():
+    base = MachineModel(alpha=10.0, beta=2.0)
+    tiered = TieredMachineModel(alpha=10.0, beta=2.0, alpha_intra=1.0,
+                                beta_intra=0.5)
+    e = _event("allreduce", [8, 16], [0, 0])  # no TierMetering attached
+    assert tiered.cost_parts(e, 2) == base.cost_parts(e, 2)
+
+
+def test_tiered_breakdown_consistent():
+    tiers = _tiers(
+        intra=[8, 0], inter=[0, 8], wire_intra=[8, 0], wire_inter=[0, 8],
+        intra_hops=1, inter_hops=1, node_of=[0, 1],
+    )
+    stats = CommStats(2)
+    stats.record(_event("allreduce", [8, 8], [0.1, 0.2], tiers=tiers))
+    stats.record(_event("allreduce", [8, 8], [0.1, 0.2]))  # untiered round
+    model = TimeModel(TieredMachineModel(alpha=1e-3, beta=1e-6,
+                                         alpha_intra=1e-4, beta_intra=1e-7))
+    breakdown = model.breakdown(stats)
+    assert breakdown["total"] == pytest.approx(model.total_time(stats))
+    assert breakdown["latency"] == pytest.approx(
+        (1e-4 + 1e-3) + 1e-3)  # tiered round + untiered log2(2) hop
+    assert breakdown["bandwidth"] == pytest.approx(
+        (1e-7 * 8 + 1e-6 * 8) + 1e-6 * 8)
+
+
+def test_blue_waters_tiered_constants_realistic():
+    """The two-tier flavor keeps the paper-calibrated network constants and
+    adds a shared-memory tier in the realistic 10-20x bandwidth range."""
+    m = BLUE_WATERS_TIERED
+    assert m.name == "blue-waters-tiered"
+    ratio = m.beta / m.beta_intra  # inter-node seconds/byte premium
+    assert 10.0 <= ratio <= 20.0
+    assert m.alpha > m.alpha_intra
 
 
 def test_time_by_tag():
