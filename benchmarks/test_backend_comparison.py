@@ -2,57 +2,83 @@
 
 The backends trade scheduling strategy for speed — ``serial`` interleaves
 all ranks on one thread, ``threads`` overlaps ranks wherever NumPy drops
-the GIL, ``procs`` forks real processes and pays shared-memory transport
-per collective to escape the GIL entirely.  Because the algorithm is bulk
-synchronous, all three must produce bit-identical partitions and byte
-counts; this bench records what each one costs in wall time, and the
-determinism columns double as an end-to-end cross-backend check on a
-bigger graph than the unit tests use.
+the GIL, ``procs`` forks real processes and escapes the GIL entirely,
+moving payloads through a selectable data plane
+(:mod:`repro.simmpi.dataplane`): zero-copy shm descriptors by default,
+copy-through pickle as the verification mode.  Because the algorithm is
+bulk synchronous, every backend x data-plane combination must produce
+bit-identical partitions and byte counts; this bench records what each
+one costs in wall time (measured with ``time.perf_counter`` around the
+whole run) next to the machine-model time, and the determinism columns
+double as an end-to-end cross-backend check on a bigger graph than the
+unit tests use.
 """
+
+import time
 
 import numpy as np
 
 from repro.bench import ExperimentTable
 from repro.core import PulpParams, xtrapulp
 from repro.simmpi import available_backends
+from repro.simmpi.backends import ProcsBackend, _REGISTRY, create_runtime
+from repro.simmpi.dataplane import DATAPLANES
 
 PARTS = 8
 NPROCS = 4
 GRAPH = "rmat"
 
 
+def _configs():
+    """(backend, dataplane) rows: every backend, procs once per plane."""
+    configs = []
+    for b in sorted(available_backends()):
+        if issubclass(_REGISTRY[b], ProcsBackend):
+            configs.extend((b, plane) for plane in DATAPLANES)
+        else:
+            configs.append((b, "-"))
+    return configs
+
+
 def test_backend_comparison(benchmark, suite_graph):
     table = ExperimentTable(
         "backend_comparison",
-        ["backend", "wall_s", "model_s", "cutsize", "MiB_sent",
+        ["backend", "dataplane", "wall_s", "model_s", "cutsize", "MiB_sent",
          "same_parts_as_serial"],
         notes=f"{GRAPH}/small, {PARTS} parts on {NPROCS} ranks; identical "
-              "partitions and traffic required on every backend",
+              "partitions and traffic required on every backend and "
+              "data plane; wall_s is perf_counter around the whole run",
     )
     g = suite_graph(GRAPH, "small")
-    backends = sorted(available_backends())
+    configs = _configs()
 
     def experiment():
-        return {
-            b: xtrapulp(g, PARTS, nprocs=NPROCS,
-                        params=PulpParams(seed=42), backend=b)
-            for b in backends
-        }
+        runs = {}
+        for b, plane in configs:
+            rt = create_runtime(
+                b, nprocs=NPROCS, meter_compute=False,
+                **({"dataplane": plane} if plane != "-" else {}))
+            t0 = time.perf_counter()
+            result = xtrapulp(g, PARTS, nprocs=NPROCS,
+                              params=PulpParams(seed=42), backend=rt)
+            runs[(b, plane)] = (time.perf_counter() - t0, result)
+        return runs
 
     runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
 
-    ref = runs["serial"]
-    for b in backends:
-        r = runs[b]
+    ref = runs[("serial", "-")][1]
+    for b, plane in configs:
+        wall, r = runs[(b, plane)]
         assert r.stats.bytes_by_tag() == ref.stats.bytes_by_tag()
         table.add(
             b,
-            round(r.wall_seconds, 3),
+            plane,
+            round(wall, 3),
             round(r.modeled_seconds, 4),
             int(r.quality().cut),
             round(r.stats.total_bytes / 2**20, 2),
             bool(np.array_equal(r.parts, ref.parts)),
         )
     table.emit()
-    for b in backends:
-        np.testing.assert_array_equal(runs[b].parts, ref.parts)
+    for key, (_, r) in runs.items():
+        np.testing.assert_array_equal(r.parts, ref.parts)

@@ -73,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution backend for the simulated ranks "
                              "(default: $REPRO_BACKEND or 'threads'); all "
                              "backends produce identical partitions")
+    parser.add_argument("--dataplane", choices=["shm", "pickle"],
+                        default=None,
+                        help="payload transport of the procs backend: 'shm' "
+                             "zero-copy shared-memory descriptors (default) "
+                             "or 'pickle' copy-through (verification mode); "
+                             "equivalent to $REPRO_DATAPLANE, ignored by "
+                             "in-process backends, identical partitions "
+                             "either way")
     parser.add_argument("--wire", choices=["compact", "gid64"],
                         default="compact",
                         help="ExchangeUpdates message format: 'compact' "
@@ -112,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.dataplane:
+        import os
+
+        from repro.simmpi.dataplane import DATAPLANE_ENV_VAR
+
+        os.environ[DATAPLANE_ENV_VAR] = args.dataplane
     try:
         graph = _load_graph(args.graph)
     except Exception as exc:

@@ -14,6 +14,13 @@ strategy (:mod:`repro.simmpi.topology`) the very same exchanges are
 metered as two-level (intra-node gather, aggregated inter-node message,
 intra-node scatter) without any change here — values, counts, and the
 communication record stay bit-identical.
+
+Zero-copy contract: both :meth:`ExchangePlan.pull` and
+:meth:`ExchangePlan.push` consume their received buffer read-only (indexed
+assignment / ``ufunc.at`` reads *from* it into the caller's ``values``),
+so under the procs backend's shm data plane
+(:mod:`repro.simmpi.dataplane`) the receive side is a zero-copy shared
+view and every plan exchange moves descriptors, not payload bytes.
 """
 
 from __future__ import annotations

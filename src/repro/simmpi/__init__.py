@@ -12,7 +12,14 @@ runs them as a deterministic round-robin superstep interpreter, ``threads``
 runs one native thread per rank (NumPy releases the GIL), and ``procs``
 forks one process per rank and moves payloads through
 ``multiprocessing.shared_memory``, escaping the GIL for pure-Python rank
-code.  Collectives are rendezvous points in every backend; because the
+code.  The procs backend's payload transport is itself selectable
+(:mod:`repro.simmpi.dataplane`): the default ``shm`` data plane parks
+large NumPy buffers in long-lived arena segments and ships zero-copy
+``(segment, offset, nbytes)`` descriptors — receivers get read-only
+shared views; :func:`~repro.simmpi.dataplane.materialize` is the
+copy-on-write escape hatch — while ``pickle`` is the original
+copy-through plane kept as a verification mode (``$REPRO_DATAPLANE``).
+Collectives are rendezvous points in every backend; because the
 algorithms built on top are bulk-synchronous (all communication happens in
 collectives, ranks only mutate rank-local state in between), a fixed-seed
 program produces bit-identical results and communication records on all
@@ -54,11 +61,18 @@ from repro.simmpi.backends import (
     register_backend,
 )
 from repro.simmpi.comm import SimComm
+from repro.simmpi.dataplane import (
+    DATAPLANE_ENV_VAR,
+    DATAPLANES,
+    default_dataplane,
+    materialize,
+)
 from repro.simmpi.errors import (
     CollectiveMismatchError,
     DeadlockError,
     RemoteRankError,
     SimMPIError,
+    UnpicklableRankError,
 )
 from repro.simmpi.metrics import CommStats, CollectiveEvent, TierMetering
 from repro.simmpi.runtime import Runtime, run_spmd
@@ -94,6 +108,10 @@ __all__ = [
     "register_backend",
     "available_backends",
     "default_backend",
+    "DATAPLANES",
+    "DATAPLANE_ENV_VAR",
+    "default_dataplane",
+    "materialize",
     "CommStats",
     "CollectiveEvent",
     "TierMetering",
@@ -116,4 +134,5 @@ __all__ = [
     "CollectiveMismatchError",
     "DeadlockError",
     "RemoteRankError",
+    "UnpicklableRankError",
 ]

@@ -3,7 +3,7 @@
 Escapes the GIL for pure-Python rank code: each rank is a forked OS process,
 and all rendezvous traffic travels through ``multiprocessing.shared_memory``
 segments, serialized with pickle protocol 5 so NumPy payloads are written as
-raw out-of-band buffers (and read back zero-copy by the computing rank).
+raw out-of-band buffers.
 
 Rendezvous is a lockstep **barrier + designated-computer** protocol.  Every
 superstep, each rank publishes one action into its own shared-memory request
@@ -19,20 +19,37 @@ done/collective actions become a
 releases every rank with :class:`~repro.simmpi.errors.RemoteRankError`
 while the original exception is re-raised from :meth:`ProcsBackend.run`.
 
+How payload *bytes* move is the backend's **data plane**
+(:mod:`repro.simmpi.dataplane`), selected per backend instance or via
+``$REPRO_DATAPLANE``:
+
+* ``shm`` (default) — zero-copy descriptor passing.  Large NumPy buffers
+  are parked in per-rank arena segments (send arenas for contributions,
+  rank 0's result arena for results) and the slots carry compact
+  ``(segment, offset, nbytes)`` descriptors; receivers materialize
+  read-only ``np.frombuffer`` views and account for their lifetime with
+  per-rank release cursors so result segments are recycled only once no
+  rank still views them.
+* ``pickle`` — the original copy-through plane (every payload byte is
+  written into the slot and copied back out on receive), kept as the
+  verification mode; ``benchmarks/test_procs_zero_copy.py`` gates the
+  shm plane's wall-clock win and bit-identity against it.
+
 Shared-memory lifecycle: all slots are created by the parent **before**
 forking (so every process shares one resource tracker), a slot that outgrows
 its segment creates a replacement and immediately unlinks the old one, and
 the parent unlinks whatever segment each slot currently names in a
 ``finally`` — on normal exit *and* when a rank raises — so no segment and no
 ``resource_tracker`` warning outlives a run.  Every segment of a session
-carries a unique session prefix in its (explicit) name, so teardown can
-additionally sweep ``/dev/shm`` for the prefix and reclaim segments whose
-creator died *mid-replacement* — the window where a freshly-grown segment
-exists but no live slot names it yet.  A child killed hard at any point
-(even ``os._exit`` inside a superstep, as the fault-injection tests do)
-therefore leaks nothing.  The parent also supervises the children: if one
-dies without reporting (hard crash), it breaks the barrier so the surviving
-ranks error out instead of hanging.
+carries a unique session prefix in its (explicit) name — arena segments
+under the ``dp`` sub-prefix — so teardown sweeps the arenas (whose segments
+intentionally live until teardown) and then reclaims anything orphaned by a
+creator that died *mid-replacement* — the window where a freshly-grown
+segment exists but no live slot names it yet.  A child killed hard at any
+point (even ``os._exit`` inside a superstep, as the fault-injection tests
+do) therefore leaks nothing.  The parent also supervises the children: if
+one dies without reporting (hard crash), it breaks the barrier so the
+surviving ranks error out instead of hanging.
 
 Requires the ``fork`` start method (fork is what lets closures and
 unpicklable shared arguments reach the ranks), so this backend is
@@ -48,21 +65,23 @@ import pickle
 import struct
 import threading
 import time
+import traceback
 import uuid
 from multiprocessing import shared_memory, sharedctypes
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.simmpi import dataplane
 from repro.simmpi.backends.base import Backend
 from repro.simmpi.errors import (
     CollectiveMismatchError,
     DeadlockError,
     RemoteRankError,
+    UnpicklableRankError,
 )
 
-_HEADER = struct.Struct("<qq")  # (pickle length, number of oob buffers)
-_BUFLEN = struct.Struct("<q")
+_HEADER = struct.Struct("<qq")  # (pickle length, buffer-spec length)
 _NAME_CAP = 120  # shm segment names are short ("simmpi...")
 
 
@@ -101,13 +120,43 @@ def _sweep_shm(prefix: str) -> List[str]:
     return reclaimed
 
 
-def _picklable(exc: BaseException) -> BaseException:
-    """Return ``exc`` if it round-trips through pickle, else a stand-in."""
+def _sanitize_exc(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it round-trips through pickle, else a stand-in.
+
+    The stand-in (:class:`UnpicklableRankError`) preserves what the
+    original carried: the exception type name, its ``args`` (each arg
+    individually pickle-checked, unpicklable ones replaced by their
+    ``repr``), and the fully formatted traceback — in the stand-in's
+    message and as ``original_type`` / ``original_args`` /
+    ``original_traceback`` attributes.  Unlike a :class:`RemoteRankError`
+    it keeps the priority of a rank's *own* failure, so the parent
+    re-raises it rather than a peer's generic "aborted" observation.
+    """
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
     except Exception:
-        return RemoteRankError(f"unpicklable rank exception: {exc!r}")
+        pass
+    try:
+        tb = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+    except Exception:  # pragma: no cover - pathological __str__
+        tb = f"<traceback unavailable for {type(exc).__name__}>"
+    safe_args: List[Any] = []
+    for arg in exc.args:
+        try:
+            pickle.loads(pickle.dumps(arg))
+            safe_args.append(arg)
+        except Exception:
+            safe_args.append(repr(arg))
+    return UnpicklableRankError(
+        f"unpicklable rank exception {type(exc).__name__}"
+        f"(args={tuple(safe_args)!r})\n"
+        f"--- original traceback ---\n{tb}",
+        original_type=type(exc).__name__,
+        original_args=tuple(safe_args),
+        original_traceback=tb,
+    )
 
 
 class _Slot:
@@ -118,6 +167,12 @@ class _Slot:
     (re-)attach after the owner replaced the segment with a larger one.
     Writers and readers of one slot are separated by the superstep barriers,
     so the slot itself needs no locking.
+
+    Layout: the fixed header, the pickle of the object, the pickled
+    buffer-spec list (one entry per out-of-band buffer: an ``int`` byte
+    count for a buffer inlined after the spec, or a
+    :class:`~repro.simmpi.dataplane.ShmSpec` descriptor for a buffer parked
+    in an arena segment), then the inlined buffers in order.
     """
 
     INITIAL = 1 << 16
@@ -178,50 +233,99 @@ class _Slot:
         seg.unlink()
         return new
 
-    def write(self, obj: Any) -> None:
-        """Serialize ``obj`` into the slot (NumPy buffers out-of-band)."""
+    def write(self, obj: Any,
+              arena: Optional[dataplane.SendArena] = None) -> None:
+        """Serialize ``obj`` into the slot (NumPy buffers out-of-band).
+
+        With an ``arena`` (the shm data plane), out-of-band buffers of at
+        least :data:`~repro.simmpi.dataplane.DESCRIPTOR_MIN` bytes are
+        placed through the arena and only their descriptors enter the slot;
+        smaller buffers — and, without an arena, all buffers — are inlined.
+        """
         oob: List[pickle.PickleBuffer] = []
         payload = pickle.dumps(obj, protocol=5, buffer_callback=oob.append)
         raws = [b.raw() for b in oob]
-        total = (_HEADER.size + _BUFLEN.size * len(raws) + len(payload)
-                 + sum(r.nbytes for r in raws))
+        entries: List[Any] = []
+        inline: List[memoryview] = []
+        if arena is not None:
+            arena.begin_write(sum(
+                r.nbytes for r in raws
+                if r.nbytes >= dataplane.DESCRIPTOR_MIN
+            ))
+            for r in raws:
+                if r.nbytes >= dataplane.DESCRIPTOR_MIN:
+                    entries.append(arena.place(r))
+                else:
+                    entries.append(r.nbytes)
+                    inline.append(r)
+        else:
+            for r in raws:
+                entries.append(r.nbytes)
+                inline.append(r)
+        spec = pickle.dumps(entries, protocol=5) if entries else b""
+        total = (_HEADER.size + len(payload) + len(spec)
+                 + sum(r.nbytes for r in inline))
         buf = self._ensure(total).buf
-        off = 0
-        _HEADER.pack_into(buf, off, len(payload), len(raws))
-        off += _HEADER.size
-        for r in raws:
-            _BUFLEN.pack_into(buf, off, r.nbytes)
-            off += _BUFLEN.size
+        _HEADER.pack_into(buf, 0, len(payload), len(spec))
+        off = _HEADER.size
         buf[off:off + len(payload)] = payload
         off += len(payload)
-        for r in raws:
+        buf[off:off + len(spec)] = spec
+        off += len(spec)
+        for r in inline:
             buf[off:off + r.nbytes] = r
             off += r.nbytes
 
-    def read(self, *, copy: bool) -> Any:
-        """Deserialize the slot's payload.
+    def read(
+        self, mode: str, cache: Optional[dataplane.SegmentCache] = None,
+    ) -> Tuple[Any, List[Tuple[memoryview, int]]]:
+        """Deserialize the slot; returns ``(obj, leases)``.
 
-        ``copy=False`` reconstructs NumPy arrays as zero-copy views into the
-        segment — only safe for consumers that drop every reference before
-        the slot is rewritten (the designated computer).  Rank-facing reads
-        use ``copy=True`` so returned arrays own their data.
+        ``mode`` sets how out-of-band buffers materialize:
+
+        * ``"borrow"`` — zero-copy for everything (slot windows for inlined
+          buffers, arena views for descriptors).  Only safe for consumers
+          that drop every reference before the slot/arena is rewritten: the
+          designated computer reading contributions within one superstep.
+        * ``"view"`` — rank-facing zero-copy: descriptors become read-only
+          arena views, returned as ``(view, address)`` leases for the
+          caller's :class:`~repro.simmpi.dataplane.ViewLedger`; inlined
+          buffers are copied (small, and the copies stay privately
+          writable).
+        * ``"own"`` — every buffer is copied out, so returned arrays own
+          writable data (the pickle data plane, and the parent collecting
+          exit payloads after the children are gone).
         """
         buf = self._segment().buf
-        payload_len, n_bufs = _HEADER.unpack_from(buf, 0)
+        payload_len, spec_len = _HEADER.unpack_from(buf, 0)
         off = _HEADER.size
-        lens = []
-        for _ in range(n_bufs):
-            lens.append(_BUFLEN.unpack_from(buf, off)[0])
-            off += _BUFLEN.size
         payload = bytes(buf[off:off + payload_len])
         off += payload_len
-        buffers = []
-        for n in lens:
-            view = buf[off:off + n]
-            # bytearray, not bytes: rank-facing copies must be writable
-            buffers.append(bytearray(view) if copy else view)
-            off += n
-        return pickle.loads(payload, buffers=buffers)
+        entries: List[Any] = (
+            pickle.loads(bytes(buf[off:off + spec_len])) if spec_len else []
+        )
+        off += spec_len
+        buffers: List[Any] = []
+        leases: List[Tuple[memoryview, int]] = []
+        for e in entries:
+            if isinstance(e, dataplane.ShmSpec):
+                assert cache is not None, "descriptor read needs a cache"
+                view = cache.view(e)
+                if mode == "own":
+                    buffers.append(bytearray(view))
+                else:
+                    buffers.append(view)
+                    if mode == "view":
+                        leases.append(
+                            (view, dataplane._buffer_address(view))
+                        )
+            else:  # inlined, e is the byte count
+                window = buf[off:off + e]
+                off += e
+                # bytearray, not bytes: rank-facing copies must be writable
+                buffers.append(window if mode == "borrow"
+                               else bytearray(window))
+        return pickle.loads(payload, buffers=buffers), leases
 
     def close(self) -> None:
         """Drop this process's mapping (never destroys the segment)."""
@@ -246,10 +350,12 @@ class _Slot:
 
 
 class _Session:
-    """Per-run shared state: slots, barrier, failure cell, stats channel."""
+    """Per-run shared state: slots, barrier, failure cell, stats channel,
+    and the data plane's release cursors."""
 
-    def __init__(self, ctx, nprocs: int) -> None:
+    def __init__(self, ctx, nprocs: int, plane: str) -> None:
         self.nprocs = nprocs
+        self.dataplane = plane
         self.shm_prefix = _session_prefix()
         self.barrier = ctx.Barrier(nprocs)
         self.fail_flag = sharedctypes.RawValue("i", 0)
@@ -258,23 +364,41 @@ class _Session:
         self.response = [_Slot(f"{self.shm_prefix}rsp{r}")
                          for r in range(nprocs)]
         self.failure = _Slot(f"{self.shm_prefix}fail")
+        #: per-rank release cursors: the highest superstep whose zero-copy
+        #: result views that rank has fully dropped.  Rank 0 recycles a
+        #: result-arena segment only when min(cursors) has passed its last
+        #: write (fork-shared; written by each rank pre-barrier, read by
+        #: rank 0 post-barrier, so no torn reads matter — stale values are
+        #: merely conservative).
+        self.release_cursors = sharedctypes.RawArray(
+            "q", [-1] * nprocs
+        )
         self.stats_queue = ctx.SimpleQueue()
 
     def set_failure(self, exc: BaseException) -> None:
-        self.failure.write(_picklable(exc))
+        self.failure.write(_sanitize_exc(exc))
         self.fail_flag.value = 1
 
-    def get_failure(self) -> Optional[BaseException]:
+    def get_failure(
+        self, cache: Optional[dataplane.SegmentCache] = None,
+    ) -> Optional[BaseException]:
         if not self.fail_flag.value:
             return None
-        return self.failure.read(copy=True)
+        exc, _ = self.failure.read("own", cache)
+        return exc
 
     def teardown(self) -> List[str]:
         """Parent-side: destroy every live segment (idempotent), then sweep
         the session prefix for segments orphaned by a hard-killed child.
-        Returns the names the sweep reclaimed (``[]`` for clean runs)."""
+
+        Arena segments (the ``dp`` sub-prefix) intentionally live until
+        teardown — zero-copy views may reference them to the very end — so
+        they are swept first as *expected* cleanup; only what the second
+        sweep then finds is a true orphan.  Returns the orphaned names
+        (``[]`` for clean runs)."""
         for slot in (*self.request, *self.response, self.failure):
             slot.unlink()
+        _sweep_shm(f"{self.shm_prefix}dp")
         return _sweep_shm(self.shm_prefix)
 
 
@@ -292,6 +416,18 @@ class _RankEndpoint:
         #: exactly as it does off the in-process backends.
         self.comm_strategy = comm_strategy
         self._step = 0
+        shm_plane = session.dataplane == "shm"
+        self._shm_plane = shm_plane
+        self._cache = dataplane.SegmentCache()
+        self._send_arena = (
+            dataplane.SendArena(f"{session.shm_prefix}dps{rank}")
+            if shm_plane else None
+        )
+        self._result_arena = (
+            dataplane.ResultArena(f"{session.shm_prefix}dpr")
+            if shm_plane and rank == 0 else None
+        )
+        self._ledger = dataplane.ViewLedger() if shm_plane else None
 
     # SimComm calls this with the same signature as Backend.collective.
     def collective(
@@ -328,7 +464,7 @@ class _RankEndpoint:
     def announce_error(self, exc: BaseException) -> None:
         """Publish a rank failure as this rank's next superstep action."""
         try:
-            self._superstep(("err", _picklable(exc)), None)
+            self._superstep(("err", _sanitize_exc(exc)), None)
         except RemoteRankError:
             pass  # expected: the superstep we just poisoned aborts
 
@@ -344,7 +480,12 @@ class _RankEndpoint:
 
     def _superstep(self, action: tuple, execute: Optional[Callable]) -> tuple:
         sess = self._session
-        sess.request[self.rank].write(action)
+        step = self._step
+        if self._ledger is not None:
+            # publish before the barrier so rank 0 reads it after: "every
+            # view of supersteps <= cursor is dead on this rank"
+            sess.release_cursors[self.rank] = self._ledger.released(step)
+        sess.request[self.rank].write(action, arena=self._send_arena)
         self._barrier()
         if self.rank == 0:
             try:
@@ -354,19 +495,30 @@ class _RankEndpoint:
         else:
             self._barrier()
         self._step += 1
-        failure = sess.get_failure()
+        failure = sess.get_failure(self._cache)
         if failure is not None:
             raise RemoteRankError(
                 f"rank {self.rank}: aborted"
             ) from failure
-        return sess.response[self.rank].read(copy=True)
+        obj, leases = sess.response[self.rank].read(
+            "view" if self._shm_plane else "own", self._cache
+        )
+        if self._ledger is not None:
+            self._ledger.track(obj, leases, step)
+        return obj
 
     def _compute(self, execute: Optional[Callable]) -> None:
         """Designated-computer step (rank 0, between the two barriers)."""
         sess = self._session
         if sess.fail_flag.value:
             return  # a previous superstep already failed
-        actions = [sess.request[r].read(copy=False)
+        arena = self._result_arena
+        if arena is not None:
+            arena.begin_step(self._step, min(sess.release_cursors))
+        # "borrow": zero-copy contribution views, valid only inside this
+        # superstep — every reference is a local dropped on return, before
+        # the closing barrier lets the owning ranks overwrite their arenas
+        actions = [sess.request[r].read("borrow", self._cache)[0]
                    for r in range(self.nprocs)]
         kinds = [a[0] for a in actions]
         if "err" in kinds:
@@ -393,9 +545,10 @@ class _RankEndpoint:
         contribs = [a[6] for a in actions]
         try:
             assert execute is not None  # rank 0 posted "coll" too
-            results = execute(contribs)
+            with dataplane.compute_arena(arena):
+                results = execute(contribs)
         except BaseException as exc:
-            sess.set_failure(_picklable(exc))
+            sess.set_failure(_sanitize_exc(exc))
             return
         tier_rows = [a[7] for a in actions]
         tiers = (None if any(t is None for t in tier_rows)
@@ -410,12 +563,17 @@ class _RankEndpoint:
             tiers,
         ))
         for r, res in enumerate(results):
-            sess.response[r].write(("result", res))
+            sess.response[r].write(("result", res), arena=arena)
 
     def close(self) -> None:
         for slot in (*self._session.request, *self._session.response,
                      self._session.failure):
             slot.close()
+        if self._send_arena is not None:
+            self._send_arena.close()
+        if self._result_arena is not None:
+            self._result_arena.close()
+        self._cache.close()
 
 
 def _rank_process_main(
@@ -439,18 +597,21 @@ def _rank_process_main(
         try:
             result = fn(comm, *extra, *args, **kwargs)
         except RemoteRankError as exc:
-            final = ("exit-err", _picklable(exc))
+            final = ("exit-err", _sanitize_exc(exc))
         except BaseException as exc:
             endpoint.announce_error(exc)
-            final = ("exit-err", _picklable(exc))
+            final = ("exit-err", _sanitize_exc(exc))
         else:
             final = ("exit-ok", result)
             try:
                 endpoint.drain()
             except RemoteRankError:
                 pass  # a peer failed while we drained; keep our result
+        # the exit payload may be large (per-rank partition arrays): ship
+        # it through the send arena too — the last superstep is over, the
+        # arena reset is safe, and its final segment lives until teardown
         try:
-            session.request[rank].write(final)
+            session.request[rank].write(final, arena=endpoint._send_arena)
         except Exception:
             session.request[rank].write(
                 ("exit-err",
@@ -465,13 +626,22 @@ class ProcsBackend(Backend):
 
     name = "procs"
 
-    def __init__(self, nprocs: int, *, meter_compute: bool = True) -> None:
+    def __init__(self, nprocs: int, *, meter_compute: bool = True,
+                 dataplane_name: Optional[str] = None) -> None:
         super().__init__(nprocs, meter_compute=meter_compute)
         if "fork" not in multiprocessing.get_all_start_methods():
             raise ValueError(
                 "the 'procs' backend requires the 'fork' start method "
                 "(POSIX); use backend='threads' or 'serial' instead"
             )
+        if dataplane_name is None:
+            dataplane_name = dataplane.default_dataplane()
+        if dataplane_name not in dataplane.DATAPLANES:
+            raise ValueError(
+                f"unknown data plane {dataplane_name!r}; "
+                f"choices: {dataplane.DATAPLANES}"
+            )
+        self.dataplane = dataplane_name
         self._ctx = multiprocessing.get_context("fork")
         #: shm name prefix of the most recent session and the orphaned
         #: segment names its teardown sweep reclaimed (hygiene tests
@@ -486,7 +656,7 @@ class ProcsBackend(Backend):
         rank_args: Optional[Sequence[Sequence[Any]]],
         kwargs: dict,
     ) -> List[Any]:
-        session = _Session(self._ctx, self.nprocs)
+        session = _Session(self._ctx, self.nprocs, self.dataplane)
         self.last_shm_prefix = session.shm_prefix
         try:
             procs = [
@@ -543,22 +713,26 @@ class ProcsBackend(Backend):
     def _collect(self, session: _Session, procs: list) -> List[Any]:
         results: List[Any] = [None] * self.nprocs
         errors: List[Optional[BaseException]] = [None] * self.nprocs
-        for r in range(self.nprocs):
-            outcome: Any = None
-            if procs[r].exitcode == 0:
-                try:
-                    outcome = session.request[r].read(copy=True)
-                except Exception:
-                    outcome = None
-            if not (isinstance(outcome, tuple) and len(outcome) == 2
-                    and outcome[0] in ("exit-ok", "exit-err")):
-                errors[r] = RemoteRankError(
-                    f"rank {r} process died without reporting "
-                    f"(exitcode {procs[r].exitcode})"
-                )
-            elif outcome[0] == "exit-err":
-                errors[r] = outcome[1]
-            else:
-                results[r] = outcome[1]
-        self._raise_collected(errors, session.get_failure())
+        cache = dataplane.SegmentCache()
+        try:
+            for r in range(self.nprocs):
+                outcome: Any = None
+                if procs[r].exitcode == 0:
+                    try:
+                        outcome, _ = session.request[r].read("own", cache)
+                    except Exception:
+                        outcome = None
+                if not (isinstance(outcome, tuple) and len(outcome) == 2
+                        and outcome[0] in ("exit-ok", "exit-err")):
+                    errors[r] = RemoteRankError(
+                        f"rank {r} process died without reporting "
+                        f"(exitcode {procs[r].exitcode})"
+                    )
+                elif outcome[0] == "exit-err":
+                    errors[r] = outcome[1]
+                else:
+                    results[r] = outcome[1]
+            self._raise_collected(errors, session.get_failure(cache))
+        finally:
+            cache.close()
         return results

@@ -11,6 +11,18 @@ Byte-accounting convention (see :mod:`repro.simmpi.metrics`): a rank's
 ``bytes_sent`` for an event is the payload it injects once — exact for
 Alltoall(v) (self-directed slices excluded), and the standard pipelined/
 butterfly bandwidth proxy for rooted and all- collectives.
+
+Result allocation goes through :func:`repro.simmpi.dataplane.result_buffer`:
+inert ``np.empty`` on the in-process backends and the pickle data plane,
+but under the procs backend's shm data plane the designated computer's
+merges land directly in the shared result arena, so receivers materialize
+them zero-copy.  Executes that deliver one result object to *several*
+ranks hand the same object to all of them when
+:func:`~repro.simmpi.dataplane.plane_active` (receivers get independent
+read-only views — safe across processes) and per-rank private copies
+otherwise (in-process ranks share an address space, so object sharing
+would let one rank's mutation leak into another's).  Either way the
+*values* are bit-identical on every backend and data plane.
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.simmpi import dataplane as _dataplane
 from repro.simmpi.backends.base import Backend
 
 _REDUCERS: dict[str, Callable[..., Any]] = {
@@ -53,6 +66,15 @@ def _common_dtype(bufs: Sequence[np.ndarray], what: str) -> Optional[np.dtype]:
     return dtypes.pop() if dtypes else None
 
 
+def _copy_result(array: np.ndarray) -> np.ndarray:
+    """A private copy of one rank's result — arena-backed when the shm
+    data plane is computing (so the copy is the *only* copy the result
+    pays), plain ``array.copy()`` semantics everywhere else."""
+    out = _dataplane.result_buffer(array.shape, array.dtype)
+    np.copyto(out, array)
+    return out
+
+
 def _merge_pieces(
     pieces: Sequence[np.ndarray], fallback: np.dtype
 ) -> np.ndarray:
@@ -62,8 +84,12 @@ def _merge_pieces(
     if not live:
         return np.empty(0, dtype=fallback)
     if len(live) == 1:
-        return live[0].copy()
-    return np.concatenate(live)
+        return _copy_result(live[0])
+    out = _dataplane.result_buffer(
+        (sum(p.shape[0] for p in live),), live[0].dtype
+    )
+    np.concatenate(live, out=out)
+    return out
 
 
 class SimComm:
@@ -289,12 +315,16 @@ class SimComm:
 
         def execute(contribs: List[Any]) -> List[Any]:
             value = contribs[root]
-            out = []
-            for r in range(len(contribs)):
-                out.append(value if r == root else value.copy())
-            return out
+            n = len(contribs)
+            if _dataplane.plane_active():
+                # one shared result object: copied into the arena once at
+                # descriptor-write time, then descriptor-shared; the root
+                # needs nothing back (it keeps its own array)
+                return [None if r == root else value for r in range(n)]
+            return [value if r == root else value.copy() for r in range(n)]
 
-        return self._collective("bcast", arr, nbytes, execute, root=root)
+        result = self._collective("bcast", arr, nbytes, execute, root=root)
+        return arr if mine else result
 
     def Allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         """Element-wise all-reduce of equal-shape NumPy arrays."""
@@ -306,6 +336,8 @@ class SimComm:
             if len(shapes) != 1:
                 raise ValueError(f"Allreduce shape mismatch across ranks: {shapes}")
             total = reducer(np.stack(contribs), axis=0)
+            if _dataplane.plane_active():
+                return [total] * len(contribs)
             return [total if r == 0 else total.copy() for r in range(len(contribs))]
 
         return self._collective("allreduce", arr, arr.nbytes, execute)
@@ -335,8 +367,19 @@ class SimComm:
 
         def execute(contribs: List[Any]) -> List[Any]:
             counts = np.array([c.shape[0] for c in contribs], dtype=np.int64)
-            merged = np.concatenate(contribs) if counts.sum() else contribs[0][:0]
+            total = int(counts.sum())
+            if total:
+                # same dtype promotion as np.concatenate (empties included),
+                # merged straight into the arena under the shm data plane
+                merged = _dataplane.result_buffer(
+                    (total,), np.result_type(*contribs)
+                )
+                np.concatenate(contribs, out=merged)
+            else:
+                merged = contribs[0][:0]
             result = (merged, counts)
+            if _dataplane.plane_active():
+                return [result] * len(contribs)
             return [result if r == 0 else (merged.copy(), counts.copy())
                     for r in range(len(contribs))]
 
@@ -351,7 +394,14 @@ class SimComm:
 
         def execute(contribs: List[Any]) -> List[Any]:
             counts = np.array([c.shape[0] for c in contribs], dtype=np.int64)
-            merged = np.concatenate(contribs) if counts.sum() else contribs[0][:0]
+            total = int(counts.sum())
+            if total:
+                merged = _dataplane.result_buffer(
+                    (total,), np.result_type(*contribs)
+                )
+                np.concatenate(contribs, out=merged)
+            else:
+                merged = contribs[0][:0]
             out: List[Any] = [None] * len(contribs)
             out[root] = (merged, counts)
             return out
@@ -381,8 +431,10 @@ class SimComm:
             arr_, cts_ = contribs[root]
             offsets = np.zeros(len(contribs) + 1, dtype=np.int64)
             np.cumsum(cts_, out=offsets[1:])
+            # the root's own piece stays a view of its input; other ranks
+            # get private copies (arena-backed under the shm data plane)
             return [
-                arr_[offsets[r]:offsets[r + 1]].copy() if r != root
+                _copy_result(arr_[offsets[r]:offsets[r + 1]]) if r != root
                 else arr_[offsets[r]:offsets[r + 1]]
                 for r in range(len(contribs))
             ]
@@ -415,7 +467,7 @@ class SimComm:
 
         def execute(contribs: List[Any]) -> List[Any]:
             stacked = np.stack(contribs)  # [src, dst, ...]
-            return [np.ascontiguousarray(stacked[:, r]) for r in range(len(contribs))]
+            return [_copy_result(stacked[:, r]) for r in range(len(contribs))]
 
         return self._collective("alltoall", arr, nbytes, execute,
                                 dest_bytes=dest, counts=counts)

@@ -32,6 +32,48 @@ class RemoteRankError(SimMPIError):
     """
 
 
+class UnpicklableRankError(SimMPIError):
+    """A rank's own exception could not cross the process boundary.
+
+    Raised by the procs backend in place of a rank exception that fails
+    to round-trip through pickle.  Unlike :class:`RemoteRankError` it
+    represents the *originating* failure, so the parent re-raises it with
+    full priority.  Carries the original context as attributes:
+
+    ``original_type``
+        Name of the original exception type.
+    ``original_args``
+        The original ``args`` tuple, with unpicklable entries replaced by
+        their ``repr``.
+    ``original_traceback``
+        The fully formatted traceback from the failing rank.
+    """
+
+    def __init__(self, message: str, *, original_type: str = "",
+                 original_args: tuple = (),
+                 original_traceback: str = "") -> None:
+        super().__init__(message)
+        self.original_type = original_type
+        self.original_args = original_args
+        self.original_traceback = original_traceback
+
+    def __reduce__(self):
+        return (
+            _rebuild_unpicklable,
+            (self.args[0], self.original_type, self.original_args,
+             self.original_traceback),
+        )
+
+
+def _rebuild_unpicklable(
+    message: str, original_type: str, original_args: tuple,
+    original_traceback: str,
+) -> "UnpicklableRankError":
+    return UnpicklableRankError(
+        message, original_type=original_type, original_args=original_args,
+        original_traceback=original_traceback)
+
+
 class InjectedFault(SimMPIError):
     """A deliberate failure planted by :class:`repro.ft.faults.FaultPlan`.
 

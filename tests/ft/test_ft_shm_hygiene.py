@@ -48,6 +48,35 @@ def test_killed_rank_leaves_no_segments(ft_graph, ft_params, tmp_path):
     assert _leaked(rt.last_shm_prefix) == []
 
 
+def test_clean_run_pickle_plane_leaves_no_segments(ft_graph, ft_params):
+    """The copy-through pickle plane allocates no arena segments and still
+    sweeps its slot segments clean."""
+    rt = create_runtime("procs", nprocs=NPROCS, meter_compute=False,
+                        dataplane="pickle")
+    xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params, backend=rt)
+    assert _leaked(rt.last_shm_prefix) == []
+    assert rt.last_shm_reclaimed == []
+
+
+def test_die_then_resume_leaves_no_segments(ft_graph, ft_params, tmp_path):
+    """Arena lifecycle across a crash: the killed session's arena segments
+    are reclaimed at teardown, and the resumed session (its own prefix,
+    its own arenas) exits clean too."""
+    d = str(tmp_path / "run")
+    crashed = create_runtime("procs", nprocs=NPROCS, meter_compute=False)
+    plan = FaultPlan([FaultSpec(1, "vertex_balance", 6, action="die")])
+    with pytest.raises(RankFailure):
+        xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
+                 backend=crashed, fault_plan=plan,
+                 checkpoint=CkptPolicy(dir=d))
+    assert _leaked(crashed.last_shm_prefix) == []
+    resumed = create_runtime("procs", nprocs=NPROCS, meter_compute=False)
+    xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
+             backend=resumed, resume=d)
+    assert _leaked(resumed.last_shm_prefix) == []
+    assert resumed.last_shm_reclaimed == []
+
+
 def test_supervised_retries_leak_nothing(ft_graph, ft_params, tmp_path):
     """Each supervised attempt is its own session; after kill + resume the
     whole /dev/shm footprint of this process is gone."""
