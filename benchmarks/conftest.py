@@ -13,6 +13,19 @@ from repro.suite import get_graph
 _CACHE = {}
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--ranks", type=int, default=512, dest="scale_ranks",
+        help="simulated rank count for the large-P scaling rows "
+             "(serial backend; default 512)")
+
+
+@pytest.fixture(scope="session")
+def scale_ranks(request):
+    """Rank count of the large-P rows, settable with --ranks."""
+    return request.config.getoption("scale_ranks")
+
+
 @pytest.fixture(scope="session")
 def suite_graph():
     """Cached accessor: suite_graph(name, scale) -> Graph."""

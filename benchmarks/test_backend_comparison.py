@@ -40,14 +40,16 @@ def _configs():
     return configs
 
 
-def test_backend_comparison(benchmark, suite_graph):
+def test_backend_comparison(benchmark, suite_graph, scale_ranks):
     table = ExperimentTable(
         "backend_comparison",
-        ["backend", "dataplane", "wall_s", "model_s", "cutsize", "MiB_sent",
-         "same_parts_as_serial"],
-        notes=f"{GRAPH}/small, {PARTS} parts on {NPROCS} ranks; identical "
-              "partitions and traffic required on every backend and "
-              "data plane; wall_s is perf_counter around the whole run",
+        ["backend", "dataplane", "ranks", "wall_s", "model_s", "cutsize",
+         "MiB_sent", "same_parts_as_serial"],
+        notes=f"{GRAPH}/small, {PARTS} parts on {NPROCS} ranks (plus one "
+              f"large-P serial row at {scale_ranks} ranks, settable with "
+              "--ranks); identical partitions and traffic required on "
+              "every backend and data plane; wall_s is perf_counter "
+              "around the whole run",
     )
     g = suite_graph(GRAPH, "small")
     configs = _configs()
@@ -62,6 +64,15 @@ def test_backend_comparison(benchmark, suite_graph):
             result = xtrapulp(g, PARTS, nprocs=NPROCS,
                               params=PulpParams(seed=42), backend=rt)
             runs[(b, plane)] = (time.perf_counter() - t0, result)
+        # large-P row: only the serial backend schedules hundreds of
+        # ranks in reasonable wall time (see DESIGN.md on backend choice)
+        rt = create_runtime("serial", nprocs=scale_ranks,
+                            meter_compute=False)
+        t0 = time.perf_counter()
+        result = xtrapulp(g, PARTS, nprocs=scale_ranks,
+                          params=PulpParams(seed=42), backend=rt)
+        runs[("serial", "-", scale_ranks)] = (
+            time.perf_counter() - t0, result)
         return runs
 
     runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
@@ -73,12 +84,21 @@ def test_backend_comparison(benchmark, suite_graph):
         table.add(
             b,
             plane,
+            NPROCS,
             round(wall, 3),
             round(r.modeled_seconds, 4),
             int(r.quality().cut),
             round(r.stats.total_bytes / 2**20, 2),
             bool(np.array_equal(r.parts, ref.parts)),
         )
+    wall, r = runs[("serial", "-", scale_ranks)]
+    table.add(
+        "serial", "-", scale_ranks, round(wall, 3),
+        round(r.modeled_seconds, 4), int(r.quality().cut),
+        round(r.stats.total_bytes / 2**20, 2),
+        "-",  # a different rank count legitimately partitions differently
+    )
     table.emit()
     for key, (_, r) in runs.items():
-        np.testing.assert_array_equal(r.parts, ref.parts)
+        if len(key) == 2:  # the large-P row runs at a different rank count
+            np.testing.assert_array_equal(r.parts, ref.parts)

@@ -81,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "equivalent to $REPRO_DATAPLANE, ignored by "
                              "in-process backends, identical partitions "
                              "either way")
+    parser.add_argument("--result-sharing", choices=["shared", "copy"],
+                        default=None,
+                        help="in-process collective result delivery: "
+                             "'shared' sealed read-only results handed to "
+                             "every rank (default; O(ranks) result bytes "
+                             "per collective) or 'copy' per-rank private "
+                             "copies (verification mode); equivalent to "
+                             "$REPRO_RESULT_SHARING, identical partitions "
+                             "either way")
     parser.add_argument("--wire", choices=["compact", "gid64"],
                         default="compact",
                         help="ExchangeUpdates message format: 'compact' "
@@ -92,8 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="communicator strategy for topology-aware "
                              "metering: 'flat' (one rank = one node), "
                              "'naive' (alias), or 'hierarchical[:R[xK]]' "
-                             "(two-level exchange, R ranks/node, default 8; "
-                             "e.g. hierarchical:16). Default: $REPRO_COMM "
+                             "(hierarchical exchange, R ranks/node, default "
+                             "8; K nodes/rack adds a third cross-rack tier, "
+                             "e.g. hierarchical:16x4). Default: $REPRO_COMM "
                              "or 'flat'. Strategy choice never changes the "
                              "partition, only the modeled tier traffic")
     ft = parser.add_argument_group("fault tolerance")
@@ -126,6 +136,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.simmpi.dataplane import DATAPLANE_ENV_VAR
 
         os.environ[DATAPLANE_ENV_VAR] = args.dataplane
+    if args.result_sharing:
+        import os
+
+        from repro.simmpi.dataplane import RESULT_SHARING_ENV_VAR
+
+        os.environ[RESULT_SHARING_ENV_VAR] = args.result_sharing
     try:
         graph = _load_graph(args.graph)
     except Exception as exc:
@@ -197,8 +213,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if result.stats.tiered:
         intra = result.stats.modeled_intra_bytes()
         inter = result.stats.modeled_inter_bytes()
-        print(f"two-level wire model: {intra / 2**20:.2f} MiB intra-node, "
-              f"{inter / 2**20:.2f} MiB inter-node")
+        xrack = result.stats.modeled_xrack_bytes()
+        if xrack:
+            print(f"three-level wire model: {intra / 2**20:.2f} MiB "
+                  f"intra-node, {inter / 2**20:.2f} MiB inter-node, "
+                  f"{xrack / 2**20:.2f} MiB cross-rack")
+        else:
+            print(f"two-level wire model: {intra / 2**20:.2f} MiB "
+                  f"intra-node, {inter / 2**20:.2f} MiB inter-node")
     if args.output:
         np.savetxt(args.output, result.parts, fmt="%d")
         print(f"wrote {args.output}")

@@ -61,15 +61,30 @@ def enforce_weight_capacity(
     sorted_tgt = tgt[order]
     w_sorted = weights[order]
     # exact per-group running sums (a global cumsum minus group offsets
-    # suffers float cancellation); the loop is over parts, which is small
+    # suffers float cancellation): pad each part's candidates into its own
+    # row of a (parts x widest-group) matrix and cumsum along the rows —
+    # every row is an independent sequential prefix sum, so the float
+    # addition order (and hence the result) is bit-identical to summing
+    # each group on its own
     bounds = np.searchsorted(
         sorted_tgt, np.arange(cap.size + 1, dtype=np.int64)
     )
-    within = np.empty_like(w_sorted)
-    for k in range(cap.size):
-        lo, hi = bounds[k], bounds[k + 1]
-        if hi > lo:
-            within[lo:hi] = np.cumsum(w_sorted[lo:hi])
+    n = w_sorted.size
+    width = int(np.diff(bounds).max())
+    if cap.size * width <= max(8 * n, 4096):
+        pos = np.arange(n, dtype=np.int64) - bounds[:-1][sorted_tgt]
+        mat = np.zeros((cap.size, width), dtype=np.float64)
+        mat[sorted_tgt, pos] = w_sorted
+        np.cumsum(mat, axis=1, out=mat)
+        within = mat[sorted_tgt, pos]
+    else:
+        # degenerate padding (one giant group among many near-empty
+        # parts): fall back to per-part slices
+        within = np.empty_like(w_sorted)
+        for k in range(cap.size):
+            lo, hi = bounds[k], bounds[k + 1]
+            if hi > lo:
+                within[lo:hi] = np.cumsum(w_sorted[lo:hi])
     keep_sorted = within <= np.maximum(cap, 0.0)[sorted_tgt]
     keep = np.zeros(tgt.size, dtype=bool)
     keep[order] = keep_sorted

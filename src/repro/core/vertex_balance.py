@@ -53,7 +53,10 @@ def _rebalance_isolated(
     # fill the most-underweight parts first; one slot per mean mover weight
     mean_w = float(vw[movers].mean())
     slot_counts = np.ceil(gaps / max(mean_w, 1e-12)).astype(np.int64)
-    order = np.argsort(gaps)[::-1]
+    # descending by gap with *ascending part id* breaking ties — the
+    # reversed ascending argsort put the highest part id first among equal
+    # gaps, making slot order depend on how many parts happened to tie
+    order = np.argsort(-gaps, kind="stable")
     slots = np.repeat(order, slot_counts[order])
     take = min(movers.size, slots.size)
     movers = movers[:take]

@@ -45,6 +45,7 @@ from repro.simmpi.backends.base import Backend
 from repro.simmpi.backends.procs import ProcsBackend
 from repro.simmpi.backends.serial import SerialBackend
 from repro.simmpi.backends.threads import ThreadsBackend
+from repro.simmpi.dataplane import RESULT_SHARING_MODES
 from repro.simmpi.topology import Communicator, create_communicator
 
 #: Environment variable consulted when ``create_runtime(backend=None)``.
@@ -80,6 +81,7 @@ def create_runtime(
     meter_compute: bool = True,
     comm: Union[str, None, Communicator] = None,
     dataplane: Optional[str] = None,
+    result_sharing: Optional[str] = None,
 ) -> Backend:
     """Create an execution backend by name (chainermn-style factory).
 
@@ -106,7 +108,20 @@ def create_runtime(
         to honor ``$REPRO_DATAPLANE``.  Backends without a data plane
         accept only None (they move no bytes between address spaces).  See
         :mod:`repro.simmpi.dataplane`.
+    result_sharing:
+        In-process result delivery (``"shared"`` sealed read-only results
+        handed to every rank — the default — or ``"copy"`` historical
+        per-rank private copies), or None to honor
+        ``$REPRO_RESULT_SHARING``.  Applies to the in-process backends
+        (serial/threads); the procs backend's results already cross
+        process boundaries, so its rank endpoints pin the historical
+        copy semantics either way.  See :mod:`repro.simmpi.dataplane`.
     """
+    if result_sharing is not None and result_sharing not in RESULT_SHARING_MODES:
+        raise ValueError(
+            f"unknown result-sharing mode {result_sharing!r}; "
+            f"choices: {RESULT_SHARING_MODES}"
+        )
     if isinstance(backend, Backend):
         if backend.nprocs != nprocs:
             raise ValueError(
@@ -115,6 +130,8 @@ def create_runtime(
             )
         if comm is not None:
             backend.comm_strategy = create_communicator(comm, nprocs=nprocs)
+        if result_sharing is not None:
+            backend.result_sharing = result_sharing
         return backend
     name = backend if backend is not None else default_backend()
     try:
@@ -134,6 +151,8 @@ def create_runtime(
         kwargs["dataplane_name"] = dataplane
     rt = cls(nprocs, **kwargs)
     rt.comm_strategy = create_communicator(comm, nprocs=nprocs)
+    if result_sharing is not None:
+        rt.result_sharing = result_sharing
     return rt
 
 

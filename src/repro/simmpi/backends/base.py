@@ -93,6 +93,13 @@ class Backend(ABC):
         #: prefix, and running commit at record time orders it after the
         #: rank files were persisted by the collective's writer.
         self.ckpt_committer: Optional[Any] = None
+        #: Result-delivery mode for in-process collective results
+        #: (``"shared"`` sealed read-only objects handed to every rank, or
+        #: ``"copy"`` per-rank private copies); None defers to
+        #: ``$REPRO_RESULT_SHARING``.  See :mod:`repro.simmpi.dataplane`
+        #: and :mod:`repro.simmpi.comm`; set by
+        #: :func:`repro.simmpi.backends.create_runtime`.
+        self.result_sharing: Optional[str] = None
 
     # -- fault injection ---------------------------------------------------
 
@@ -165,8 +172,9 @@ class Backend(ABC):
 
     @staticmethod
     def _tier_matrix(tier_list: Sequence[Optional[tuple]]):
-        """Stack per-rank tier tuples into an ``(nprocs, 4)`` int64 matrix,
-        or None if any rank deposited without tier metering (flat)."""
+        """Stack per-rank tier tuples into an ``(nprocs, 4)`` (two-tier) or
+        ``(nprocs, 6)`` (rack-tier) int64 matrix, or None if any rank
+        deposited without tier metering (flat)."""
         if any(t is None for t in tier_list):
             return None
         return np.asarray(tier_list, dtype=np.int64)
@@ -182,13 +190,27 @@ class Backend(ABC):
     ) -> None:
         tier_view: Optional[TierMetering] = None
         if tiers is not None and self.comm_strategy is not None:
-            intra_hops, inter_hops = self.comm_strategy.hops(op)
-            tier_view = TierMetering(
-                intra_bytes=tiers[:, 0], inter_bytes=tiers[:, 1],
-                wire_intra=tiers[:, 2], wire_inter=tiers[:, 3],
-                intra_hops=intra_hops, inter_hops=inter_hops,
-                node_of=self.comm_strategy.node_map,
-            )
+            hop_parts = self.comm_strategy.hops(op)
+            intra_hops, inter_hops = hop_parts[0], hop_parts[1]
+            xrack_hops = hop_parts[2] if len(hop_parts) > 2 else 0
+            if tiers.shape[1] == 6:
+                # rack-tier column order: intra, inter, xrack, then wires
+                tier_view = TierMetering(
+                    intra_bytes=tiers[:, 0], inter_bytes=tiers[:, 1],
+                    wire_intra=tiers[:, 3], wire_inter=tiers[:, 4],
+                    intra_hops=intra_hops, inter_hops=inter_hops,
+                    node_of=self.comm_strategy.node_map,
+                    xrack_bytes=tiers[:, 2], wire_xrack=tiers[:, 5],
+                    xrack_hops=xrack_hops,
+                    rack_of=getattr(self.comm_strategy, "rack_map", None),
+                )
+            else:
+                tier_view = TierMetering(
+                    intra_bytes=tiers[:, 0], inter_bytes=tiers[:, 1],
+                    wire_intra=tiers[:, 2], wire_inter=tiers[:, 3],
+                    intra_hops=intra_hops, inter_hops=inter_hops,
+                    node_of=self.comm_strategy.node_map,
+                )
         self.stats.record(CollectiveEvent(
             op=op, tag=tag, bytes_sent=bytes_sent,
             compute_seconds=compute_seconds, work_units=work_units,

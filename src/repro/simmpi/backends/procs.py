@@ -405,6 +405,12 @@ class _Session:
 class _RankEndpoint:
     """Rank-side collective engine; satisfies SimComm's runtime protocol."""
 
+    #: Procs results already cross a process boundary (pickle slots or shm
+    #: descriptors), so in-process result sharing buys nothing and would
+    #: leak the sealed (read-only) flag through pickling — pin the
+    #: historical copy semantics regardless of $REPRO_RESULT_SHARING.
+    result_sharing = "copy"
+
     def __init__(self, session: _Session, rank: int, meter_compute: bool,
                  fault_plan: Any = None, comm_strategy: Any = None) -> None:
         self._session = session

@@ -2,18 +2,35 @@
 
 Exactly **one rank executes at any instant**.  Rank 0 runs until it deposits
 at its first collective, then hands a baton to rank 1, and so on in strict
-round-robin order; the last depositor executes the collective and the baton
-continues around the ring.  Scheduling is therefore a pure function of the
-program — prints, breakpoints, and profiles are identical run-to-run — which
-makes this the backend of choice for debugging rank code and for minimal
-repro cases.  There is no lock discipline to reason about: the baton *is*
-the schedule, so shared engine state is only ever touched by one runnable
-rank at a time.
+round-robin order; the last depositor executes the collective and *keeps
+running* with its own result (see below), the baton continuing around the
+ring from it.  Scheduling is therefore a pure function of the program —
+prints, breakpoints, and profiles are identical run-to-run — which makes
+this the backend of choice for debugging rank code and for minimal repro
+cases.  There is no lock discipline to reason about: the baton *is* the
+schedule, so shared engine state is only ever touched by one runnable rank
+at a time.
 
 Ranks are carried by parked worker threads purely so that ordinary blocking
 rank functions can be suspended mid-call; the threads never run
-concurrently, hence "serial".  Error semantics match the other backends:
-mismatched collectives raise
+concurrently, hence "serial".  At thousands of ranks the engine cost is
+dominated by those park/wake cycles, so the baton is engineered down to the
+cheapest primitive available:
+
+* each baton is a **raw ``threading.Lock``** held by its parked rank —
+  waking a rank is one C-level ``release``, parking is one ``acquire``,
+  with no per-wait allocation (a ``threading.Event`` wait builds a fresh
+  waiter lock inside its ``Condition`` every call);
+* the locks are allocated once per run and reused across every superstep;
+* **executor-continue**: the last depositor of a superstep executes the
+  collective and simply returns with its result instead of parking and
+  being re-woken — one full OS park/wake cycle saved per collective,
+  counted in :attr:`~repro.simmpi.metrics.CommStats.saved_switches`.  The
+  deposit order still rotates deterministically (the executor of superstep
+  ``s`` deposits first at superstep ``s+1``), so the schedule remains a
+  pure function of the program.
+
+Error semantics match the other backends: mismatched collectives raise
 :class:`~repro.simmpi.errors.CollectiveMismatchError`, abandoned rendezvous
 raise :class:`~repro.simmpi.errors.DeadlockError`, and a failing rank
 releases the others with :class:`~repro.simmpi.errors.RemoteRankError`.
@@ -23,6 +40,8 @@ from __future__ import annotations
 
 import threading
 from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.simmpi.backends.base import Backend, _Pending
 from repro.simmpi.errors import (
@@ -39,7 +58,7 @@ class SerialBackend(Backend):
 
     def __init__(self, nprocs: int, *, meter_compute: bool = True) -> None:
         super().__init__(nprocs, meter_compute=meter_compute)
-        self._batons: List[threading.Event] = []
+        self._batons: List[threading.Lock] = []
         self._finished: List[bool] = []
         self._in_collective: List[bool] = []
         self._n_finished = 0
@@ -53,7 +72,7 @@ class SerialBackend(Backend):
         for offset in range(1, self.nprocs + 1):
             r = (from_rank + offset) % self.nprocs
             if not self._finished[r] and not self._in_collective[r]:
-                self._batons[r].set()
+                self._release_baton(r)
                 return
         # No runnable rank left.  If some ranks are still parked inside an
         # unfinished collective, nobody can ever complete it.
@@ -63,21 +82,28 @@ class SerialBackend(Backend):
                 f"{self._pending.op!r} with no runnable rank left"
             ))
 
+    def _release_baton(self, rank: int) -> None:
+        """Wake ``rank`` (idempotent, like the Event.set it replaced: a
+        baton released twice before the owner re-parks must not raise)."""
+        try:
+            self._batons[rank].release()
+        except RuntimeError:
+            pass  # already released — the wake is already in flight
+
     def _wait_baton(self, rank: int) -> None:
-        self._batons[rank].wait()
-        self._batons[rank].clear()
+        self._batons[rank].acquire()
 
     def _fail(self, exc: BaseException) -> None:
         """Record the first failure and wake every parked rank."""
         if self._failure is None:
             self._failure = exc
         self._pending = None
-        for ev in self._batons:
-            ev.set()
+        for r in range(self.nprocs):
+            self._release_baton(r)
 
     # -- rendezvous engine -------------------------------------------------
 
-    def _collective_parallel(
+    def collective(
         self,
         rank: int,
         op: str,
@@ -86,9 +112,23 @@ class SerialBackend(Backend):
         nbytes_sent: int,
         execute: Callable[[List[Any]], List[Any]],
         compute_seconds: float,
-        work_units: float,
+        work_units: float = 0.0,
         tier_bytes: Optional[tuple] = None,
     ) -> Any:
+        # The base class's dispatch layer (fault check, single-rank
+        # short-circuit, delegate to _collective_parallel) is folded into
+        # the deposit path: one Python frame per deposit is measurable at
+        # thousands of ranks.
+        plan = self.fault_plan
+        if plan is not None:
+            plan.check(rank, op, tag, can_die=False)
+        if self.nprocs == 1:
+            results = execute([contribution])
+            self._record(op, tag,
+                         np.zeros(1, dtype=np.int64),
+                         np.array([compute_seconds]),
+                         np.array([work_units]))
+            return results[0]
         if self._failure is not None:
             raise RemoteRankError(f"rank {rank}: aborted") from self._failure
         if self._n_finished > 0:
@@ -130,6 +170,13 @@ class SerialBackend(Backend):
             self._pending = None
             for r in range(self.nprocs):
                 self._in_collective[r] = False
+            # executor-continue: the last depositor already holds the
+            # "baton" (it is the running rank), so it proceeds with its
+            # result directly instead of parking and being re-woken —
+            # the other ranks resume one by one as it passes the baton
+            # at its next deposit (or on return).
+            self.stats.saved_switches += 1
+            return pending.results[rank]
 
         self._pass_baton(rank)
         self._wait_baton(rank)
@@ -137,6 +184,24 @@ class SerialBackend(Backend):
             raise RemoteRankError(f"rank {rank}: aborted") from self._failure
         assert pending.results is not None
         return pending.results[rank]
+
+    def _collective_parallel(
+        self,
+        rank: int,
+        op: str,
+        tag: str,
+        contribution: Any,
+        nbytes_sent: int,
+        execute: Callable[[List[Any]], List[Any]],
+        compute_seconds: float,
+        work_units: float,
+        tier_bytes: Optional[tuple] = None,
+    ) -> Any:
+        """Interface-compat shim: the deposit body lives in
+        :meth:`collective` (the base dispatch is folded in)."""
+        return self.collective(rank, op, tag, contribution, nbytes_sent,
+                               execute, compute_seconds, work_units,
+                               tier_bytes)
 
     # -- running SPMD programs ----------------------------------------------
 
@@ -150,7 +215,11 @@ class SerialBackend(Backend):
         from repro.simmpi.comm import SimComm
 
         n = self.nprocs
-        self._batons = [threading.Event() for _ in range(n)]
+        # one reusable lock per rank, acquired here so every worker's
+        # first _wait_baton parks until the baton reaches it
+        self._batons = [threading.Lock() for _ in range(n)]
+        for baton in self._batons:
+            baton.acquire()
         self._finished = [False] * n
         self._in_collective = [False] * n
         self._n_finished = 0
@@ -195,7 +264,7 @@ class SerialBackend(Backend):
         ]
         for t in threads:
             t.start()
-        self._batons[0].set()  # rank 0 opens the round-robin
+        self._release_baton(0)  # rank 0 opens the round-robin
         for t in threads:
             t.join()
 

@@ -19,10 +19,21 @@ merges land directly in the shared result arena, so receivers materialize
 them zero-copy.  Executes that deliver one result object to *several*
 ranks hand the same object to all of them when
 :func:`~repro.simmpi.dataplane.plane_active` (receivers get independent
-read-only views — safe across processes) and per-rank private copies
-otherwise (in-process ranks share an address space, so object sharing
-would let one rank's mutation leak into another's).  Either way the
-*values* are bit-identical on every backend and data plane.
+read-only views — safe across processes).
+
+In-process backends (serial/threads) share an address space, so object
+sharing there needs the read-only contract instead: in the default
+``shared`` result mode (:func:`~repro.simmpi.dataplane.default_result_sharing`)
+the one-result collectives — ``Allreduce``, ``Bcast``, ``Allgatherv``,
+``allgather`` — hand every rank the *same* sealed (non-writeable) array,
+turning O(P^2) result bytes per collective into O(P), and the
+all-to-all collectives replace their per-destination Python merge loops
+with one vectorized destination bucketing whose per-rank results are
+sealed views of a single buffer.  A rank that must mutate a received
+result calls :func:`~repro.simmpi.dataplane.materialize` (copy-on-write).
+``result_sharing="copy"`` keeps the historical per-rank private copies as
+the verification mode; either way the *values* are bit-identical on every
+backend, data plane, and sharing mode.
 """
 
 from __future__ import annotations
@@ -92,6 +103,40 @@ def _merge_pieces(
     return out
 
 
+def _dest_perm(cmat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Scatter permutation for the vectorized all-to-all merge.
+
+    ``cmat[src, dst]`` counts the items source ``src`` sends destination
+    ``dst``.  Concatenating every source's send buffer lists the moved
+    elements in source-major block order; ``perm`` maps each element of
+    that concatenation to its slot in the destination-major layout
+    (grouped by destination, source order preserved within each group —
+    exactly the order the per-destination concatenation loop produced).
+    Returns ``(perm, dst_starts)`` where ``dst_starts`` bounds each
+    destination's slice of the permuted buffer.  O(N + P^2) NumPy work
+    replaces the O(P^2) Python loop over per-``(src, dst)`` slices.
+    """
+    nprocs = cmat.shape[0]
+    counts_flat = cmat.ravel()
+    # element offset of each (src, dst) block in the source-major order
+    src_starts = np.zeros(counts_flat.size, dtype=np.int64)
+    np.cumsum(counts_flat[:-1], out=src_starts[1:])
+    # destination slice bounds, and each block's offset within its slice
+    dst_starts = np.zeros(nprocs + 1, dtype=np.int64)
+    np.cumsum(cmat.sum(axis=0), out=dst_starts[1:])
+    within = np.zeros_like(cmat)
+    np.cumsum(cmat[:-1], axis=0, out=within[1:])
+    tgt_starts = dst_starts[:-1][np.newaxis, :] + within
+    shift = np.repeat(tgt_starts.ravel() - src_starts, counts_flat)
+    return shift + np.arange(shift.size, dtype=np.int64), dst_starts
+
+
+def _gather_live(bufs: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenation of the non-empty buffers (source-major order)."""
+    live = [b for b in bufs if b.size]
+    return live[0] if len(live) == 1 else np.concatenate(live)
+
+
 class SimComm:
     """Communicator handle passed to every rank function.
 
@@ -117,12 +162,25 @@ class SimComm:
             self._comm_strategy is not None
             and getattr(self._comm_strategy, "tiered", False)
         )
+        #: Shared read-only result delivery (see module docstring): from
+        #: the backend's ``result_sharing`` attribute, falling back to
+        #: ``$REPRO_RESULT_SHARING``.  The procs backend's rank endpoints
+        #: pin ``"copy"`` — their results cross a process boundary, so
+        #: sharing buys nothing and sealing would leak through pickling.
+        self._share_results = (
+            getattr(runtime, "result_sharing", None)
+            or _dataplane.default_result_sharing()
+        ) == "shared"
         #: Collectives completed by this rank so far.  A BSP program keeps
         #: this identical across ranks; checkpoints record it so a resumed
         #: run knows where its re-executed prologue (graph build) ends.
         self.event_count = 0
+        #: thread_time bookkeeping is skipped wholesale when compute
+        #: metering is off — at thousands of ranks the two clock reads per
+        #: deposit are measurable pure overhead.
+        self._meter = bool(runtime.meter_compute)
         self._last_thread_time: float = (
-            time.thread_time() if runtime.meter_compute else 0.0
+            time.thread_time() if self._meter else 0.0
         )
 
     # -- deterministic work metering ----------------------------------------
@@ -149,14 +207,14 @@ class SimComm:
     # -- internals -----------------------------------------------------------
 
     def _compute_delta(self) -> float:
-        if not self._runtime.meter_compute:
+        if not self._meter:
             return 0.0
         now = time.thread_time()
         delta = now - self._last_thread_time
         return max(delta, 0.0)
 
     def _mark_resume(self) -> None:
-        if self._runtime.meter_compute:
+        if self._meter:
             self._last_thread_time = time.thread_time()
 
     def _collective(
@@ -170,7 +228,6 @@ class SimComm:
         root: Optional[int] = None,
         counts: bool = False,
     ) -> Any:
-        delta = self._compute_delta()
         work = self._work
         self._work = 0.0
         tier = None
@@ -179,6 +236,16 @@ class SimComm:
                 op, self.rank, nbytes_sent,
                 dest_bytes=dest_bytes, root=root, counts=counts,
             )
+        if not self._meter:
+            # unmetered fast path: no clock reads, no try frame — at
+            # thousands of ranks this per-deposit overhead adds up
+            result = self._runtime.collective(
+                self.rank, op, self._tag, contribution, nbytes_sent, execute,
+                0.0, work, tier_bytes=tier,
+            )
+            self.event_count += 1
+            return result
+        delta = max(time.thread_time() - self._last_thread_time, 0.0)
         try:
             result = self._runtime.collective(
                 self.rank, op, self._tag, contribution, nbytes_sent, execute,
@@ -187,7 +254,7 @@ class SimComm:
             self.event_count += 1
             return result
         finally:
-            self._mark_resume()
+            self._last_thread_time = time.thread_time()
 
     def _dest_split(self, cts: np.ndarray, item_bytes: int) -> Optional[np.ndarray]:
         """Per-destination payload bytes (self slot zeroed) for the tier
@@ -312,6 +379,7 @@ class SimComm:
         mine = self.rank == root
         arr = np.ascontiguousarray(array) if mine else None
         nbytes = arr.nbytes if mine else 0
+        share = self._share_results
 
         def execute(contribs: List[Any]) -> List[Any]:
             value = contribs[root]
@@ -321,6 +389,12 @@ class SimComm:
                 # descriptor-write time, then descriptor-shared; the root
                 # needs nothing back (it keeps its own array)
                 return [None if r == root else value for r in range(n)]
+            if share:
+                # one sealed copy shared by every non-root rank; the
+                # root's own (writable) array is never sealed — it keeps
+                # its input unchanged, exactly as before
+                out = _dataplane.seal(value.copy())
+                return [None if r == root else out for r in range(n)]
             return [value if r == root else value.copy() for r in range(n)]
 
         result = self._collective("bcast", arr, nbytes, execute, root=root)
@@ -330,6 +404,7 @@ class SimComm:
         """Element-wise all-reduce of equal-shape NumPy arrays."""
         arr = np.ascontiguousarray(array)
         reducer = _REDUCERS[op]
+        share = self._share_results
 
         def execute(contribs: List[Any]) -> List[Any]:
             shapes = {c.shape for c in contribs}
@@ -338,6 +413,8 @@ class SimComm:
             total = reducer(np.stack(contribs), axis=0)
             if _dataplane.plane_active():
                 return [total] * len(contribs)
+            if share:
+                return [_dataplane.seal(total)] * len(contribs)
             return [total if r == 0 else total.copy() for r in range(len(contribs))]
 
         return self._collective("allreduce", arr, arr.nbytes, execute)
@@ -364,6 +441,7 @@ class SimComm:
         arr = np.ascontiguousarray(array)
         if arr.ndim != 1:
             raise ValueError("Allgatherv expects 1-D arrays")
+        share = self._share_results
 
         def execute(contribs: List[Any]) -> List[Any]:
             counts = np.array([c.shape[0] for c in contribs], dtype=np.int64)
@@ -379,6 +457,10 @@ class SimComm:
                 merged = contribs[0][:0]
             result = (merged, counts)
             if _dataplane.plane_active():
+                return [result] * len(contribs)
+            if share:
+                _dataplane.seal(merged)
+                _dataplane.seal(counts)
                 return [result] * len(contribs)
             return [result if r == 0 else (merged.copy(), counts.copy())
                     for r in range(len(contribs))]
@@ -464,9 +546,19 @@ class SimComm:
         dest = self._dest_split(
             np.ones(self.size, dtype=np.int64), slot
         ) if self._tiered else None
+        share = self._share_results
 
         def execute(contribs: List[Any]) -> List[Any]:
             stacked = np.stack(contribs)  # [src, dst, ...]
+            if share and not _dataplane.plane_active():
+                # one contiguous [dst, src, ...] transpose; each rank's
+                # result is a sealed row view — same values as the
+                # per-rank column copies, one vectorized copy total
+                axes = (1, 0) + tuple(range(2, stacked.ndim))
+                out = _dataplane.seal(
+                    np.ascontiguousarray(stacked.transpose(axes))
+                )
+                return [out[r] for r in range(len(contribs))]
             return [_copy_result(stacked[:, r]) for r in range(len(contribs))]
 
         return self._collective("alltoall", arr, nbytes, execute,
@@ -501,12 +593,27 @@ class SimComm:
         recvcounts = self._alltoall_impl(cts, counts=True)
         offrank = int(buf.nbytes - cts[self.rank] * buf.itemsize)
         dest = self._dest_split(cts, buf.itemsize)
+        share = self._share_results
 
         def execute(contribs: List[Any]) -> List[Any]:
             nprocs = len(contribs)
             bufs = [c[0] for c in contribs]
             counts = [c[1] for c in contribs]
             wire_dtype = _common_dtype(bufs, "Alltoallv")
+            if share and not _dataplane.plane_active():
+                cmat = np.stack(counts)
+                rcmat = _dataplane.seal(np.ascontiguousarray(cmat.T))
+                if wire_dtype is None:
+                    # nothing moves: per-destination empties keep the
+                    # legacy fallback dtype (the destination's own buffer)
+                    return [(_dataplane.seal(np.empty(0, bufs[r].dtype)),
+                             rcmat[r]) for r in range(nprocs)]
+                perm, dst_starts = _dest_perm(cmat)
+                out = np.empty(perm.size, dtype=wire_dtype)
+                out[perm] = _gather_live(bufs)
+                _dataplane.seal(out)
+                return [(out[dst_starts[r]:dst_starts[r + 1]], rcmat[r])
+                        for r in range(nprocs)]
             send_offsets = []
             for c in counts:
                 off = np.zeros(nprocs + 1, dtype=np.int64)
@@ -571,6 +678,7 @@ class SimComm:
         record_bytes = sum(b.itemsize for b in bufs)
         offrank = int((nrec - cts[self.rank]) * record_bytes)
         dest = self._dest_split(cts, record_bytes)
+        share = self._share_results
 
         def execute(contribs: List[Any]) -> List[Any]:
             nprocs = len(contribs)
@@ -587,6 +695,28 @@ class SimComm:
                 _common_dtype([b[j] for b in all_bufs], "Alltoallv_fields")
                 for j in range(k)
             ]
+            if share and not _dataplane.plane_active():
+                cmat = np.stack(counts)
+                rcmat = _dataplane.seal(np.ascontiguousarray(cmat.T))
+                if all(d is None for d in wire_dtypes):
+                    # no records anywhere (fields are equal-length per
+                    # source, so the dtypes are all-None together)
+                    return [
+                        ([_dataplane.seal(np.empty(0, all_bufs[r][j].dtype))
+                          for j in range(k)], rcmat[r])
+                        for r in range(nprocs)
+                    ]
+                perm, dst_starts = _dest_perm(cmat)
+                merged_fields = []
+                for j in range(k):
+                    out = np.empty(perm.size, dtype=wire_dtypes[j])
+                    out[perm] = _gather_live([b[j] for b in all_bufs])
+                    merged_fields.append(_dataplane.seal(out))
+                return [
+                    ([f[dst_starts[r]:dst_starts[r + 1]]
+                      for f in merged_fields], rcmat[r])
+                    for r in range(nprocs)
+                ]
             send_offsets = []
             for c in counts:
                 off = np.zeros(nprocs + 1, dtype=np.int64)

@@ -119,12 +119,51 @@ def _buffer_address(view: memoryview) -> int:
 def materialize(arr: np.ndarray) -> np.ndarray:
     """Copy-on-write helper: a writable version of a received buffer.
 
-    Zero-copy for arrays that already own writable data (everything the
-    serial/threads backends and the pickle data plane return); copies only
-    the read-only shared-memory views of the shm data plane.
+    Zero-copy for arrays that already own writable data; copies only
+    read-only buffers — the shm data plane's shared-memory views and the
+    in-process backends' shared (sealed) collective results.
     """
     if isinstance(arr, np.ndarray) and not arr.flags.writeable:
         return arr.copy()
+    return arr
+
+
+# -- shared read-only collective results (in-process backends) --------------
+
+#: Environment variable consulted when ``create_runtime(result_sharing=None)``.
+RESULT_SHARING_ENV_VAR = "REPRO_RESULT_SHARING"
+
+#: Result-delivery modes of the in-process backends: ``shared`` hands every
+#: rank the *same* sealed (read-only) result array — O(P) result bytes per
+#: collective instead of the O(P^2) of per-rank copies — while ``copy``
+#: keeps the historical private-copy path as the bit-identity verification
+#: mode.  Values are identical either way; a rank that must mutate a
+#: received result calls :func:`materialize` first (the same copy-on-write
+#: contract the shm data plane established).
+RESULT_SHARING_MODES = ("shared", "copy")
+
+DEFAULT_RESULT_SHARING = "shared"
+
+
+def default_result_sharing() -> str:
+    """The result-sharing mode used when none is requested explicitly."""
+    name = os.environ.get(RESULT_SHARING_ENV_VAR) or DEFAULT_RESULT_SHARING
+    if name not in RESULT_SHARING_MODES:
+        raise ValueError(
+            f"${RESULT_SHARING_ENV_VAR}={name!r} is not a valid result-"
+            f"sharing mode; choices: {RESULT_SHARING_MODES}"
+        )
+    return name
+
+
+def seal(arr: np.ndarray) -> np.ndarray:
+    """Mark an array read-only so it can be shared across in-process ranks.
+
+    The PR-7 zero-copy contract, extended inward: a sealed result object is
+    handed to *every* rank of a collective, and any accidental in-place
+    mutation raises instead of silently leaking into other ranks.
+    """
+    arr.flags.writeable = False
     return arr
 
 

@@ -41,6 +41,16 @@ class TierMetering:
     and ``node_of`` maps each rank to its node (shared across events of a
     run) so per-node wire aggregates can be formed.
 
+    On rack-structured topologies (``hierarchical:RxK``) a third tier
+    appears: ``xrack_bytes`` classifies the payload that leaves the rack
+    (conservation becomes ``intra + inter + xrack == bytes_sent``, with
+    ``inter_bytes`` narrowing to *off-node, same-rack*), ``wire_xrack``
+    is the three-level protocol's cross-rack wire traffic (rack-leader
+    injected), ``xrack_hops`` the cross-rack latency legs, and
+    ``rack_of`` maps each rank to its rack.  All four default to
+    zero/None on rack-less topologies, where the two-tier view is
+    byte-identical to what it always was.
+
     Deliberately **excluded** from :meth:`CommStats.signature`: tier
     metering is supplementary, so ``flat`` and ``hierarchical`` runs of
     the same program keep bit-identical communication records.
@@ -53,6 +63,10 @@ class TierMetering:
     intra_hops: int
     inter_hops: int
     node_of: np.ndarray
+    xrack_bytes: Optional[np.ndarray] = None
+    wire_xrack: Optional[np.ndarray] = None
+    xrack_hops: int = 0
+    rack_of: Optional[np.ndarray] = None
 
     @property
     def total_intra(self) -> int:
@@ -74,6 +88,14 @@ class TierMetering:
     def max_wire_intra(self) -> int:
         return int(self.wire_intra.max()) if self.wire_intra.size else 0
 
+    @property
+    def total_xrack(self) -> int:
+        return int(self.xrack_bytes.sum()) if self.xrack_bytes is not None else 0
+
+    @property
+    def total_wire_xrack(self) -> int:
+        return int(self.wire_xrack.sum()) if self.wire_xrack is not None else 0
+
     def max_node_wire_inter(self) -> int:
         """Busiest *node's* injected inter-node wire bytes — the bandwidth
         bound of the inter tier (a node's NIC carries the sum of its
@@ -82,6 +104,18 @@ class TierMetering:
             return 0
         per_node = np.bincount(self.node_of, weights=self.wire_inter)
         return int(per_node.max()) if per_node.size else 0
+
+    def max_rack_wire_xrack(self) -> int:
+        """Busiest *rack's* injected cross-rack wire bytes — the bandwidth
+        bound of the rack tier (cross-rack traffic is rack-leader
+        injected, so a rack's uplink carries the sum of its ranks'
+        ``wire_xrack``).  Zero on rack-less topologies."""
+        if self.wire_xrack is None or self.rack_of is None:
+            return 0
+        if self.wire_xrack.size == 0:
+            return 0
+        per_rack = np.bincount(self.rack_of, weights=self.wire_xrack)
+        return int(per_rack.max()) if per_rack.size else 0
 
 
 @dataclass(frozen=True)
@@ -165,6 +199,12 @@ class CommStats:
     nprocs: int
     events: List[CollectiveEvent] = field(default_factory=list)
     recoveries: List[RecoveryEvent] = field(default_factory=list)
+    #: OS thread park/wake cycles the serial backend's executor-continue
+    #: scheduling avoided (the last depositor of a superstep runs on with
+    #: its result instead of parking and being re-woken).  Engine-side
+    #: bookkeeping only — excluded from :meth:`signature`, merged
+    #: additively, and always zero on the other backends.
+    saved_switches: int = 0
 
     def record(self, event: CollectiveEvent) -> None:
         self.events.append(event)
@@ -247,17 +287,39 @@ class CommStats:
         Sum-preserving by construction: ``intra + inter`` equals the op's
         :meth:`bytes_by_op` entry for tiered events; untiered events (flat
         strategy, or merged foreign records) count fully as inter, matching
-        the flat model's one-rank-per-node assumption.
+        the flat model's one-rank-per-node assumption.  On rack topologies
+        the cross-rack bytes fold into ``inter`` here (everything off-node);
+        :meth:`rack_tier_bytes_by_op` keeps the three-way split.
         """
         out: Dict[str, tuple] = {}
         for e in self.events:
             intra, inter = out.get(e.op, (0, 0))
             if e.tiers is not None:
                 intra += e.tiers.total_intra
-                inter += e.tiers.total_inter
+                inter += e.tiers.total_inter + e.tiers.total_xrack
             else:
                 inter += e.total_bytes
             out[e.op] = (intra, inter)
+        return out
+
+    def rack_tier_bytes_by_op(self) -> Dict[str, tuple]:
+        """Per-op ``(intra, inter, xrack)`` classification of metered bytes.
+
+        Sum-preserving like :meth:`tier_bytes_by_op` (the three components
+        add up to the op's :meth:`bytes_by_op` entry); untiered events
+        count fully as ``xrack`` — under ``flat`` every rank is its own
+        node *and* rack, so every metered byte crosses the widest tier.
+        """
+        out: Dict[str, tuple] = {}
+        for e in self.events:
+            intra, inter, xrack = out.get(e.op, (0, 0, 0))
+            if e.tiers is not None:
+                intra += e.tiers.total_intra
+                inter += e.tiers.total_inter
+                xrack += e.tiers.total_xrack
+            else:
+                xrack += e.total_bytes
+            out[e.op] = (intra, inter, xrack)
         return out
 
     def modeled_inter_bytes(self) -> int:
@@ -279,6 +341,13 @@ class CommStats:
         """Total modeled intra-node (shared-memory) wire bytes."""
         return sum(
             e.tiers.total_wire_intra for e in self.events
+            if e.tiers is not None
+        )
+
+    def modeled_xrack_bytes(self) -> int:
+        """Total modeled cross-rack wire bytes (zero without a rack tier)."""
+        return sum(
+            e.tiers.total_wire_xrack for e in self.events
             if e.tiers is not None
         )
 
@@ -313,6 +382,7 @@ class CommStats:
             )
         self.events.extend(other.events)
         self.recoveries.extend(other.recoveries)
+        self.saved_switches += other.saved_switches
 
     def signature(self) -> List[tuple]:
         """A comparable, bit-exact digest of the event stream.
@@ -355,5 +425,9 @@ class CommStats:
             lines.append(
                 f"  recovery     attempt={rec.attempt} "
                 f"resumed_from_epoch={rec.epoch} after {rec.error}"
+            )
+        if self.saved_switches:
+            lines.append(
+                f"  scheduler    saved_switches={self.saved_switches}"
             )
         return "\n".join(lines)

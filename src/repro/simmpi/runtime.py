@@ -43,6 +43,7 @@ def run_spmd(
     meter_compute: bool = True,
     backend: Union[str, None, Backend] = None,
     comm: Any = None,
+    result_sharing: Optional[str] = None,
     **kwargs: Any,
 ) -> tuple[List[Any], CommStats]:
     """One-shot convenience: run ``fn`` on ``nprocs`` ranks, return results
@@ -52,10 +53,13 @@ def run_spmd(
     ``threads`` / ``procs``); None honors ``$REPRO_BACKEND`` and defaults
     to ``threads``.  ``comm`` selects the communicator strategy for
     topology-aware metering (``flat`` / ``hierarchical[:R[xK]]``); None
-    honors ``$REPRO_COMM`` and defaults to ``flat``.
+    honors ``$REPRO_COMM`` and defaults to ``flat``.  ``result_sharing``
+    selects the in-process collective result delivery (``shared`` /
+    ``copy``); None honors ``$REPRO_RESULT_SHARING`` and defaults to
+    ``shared``.
     """
     rt = create_runtime(backend, nprocs=nprocs, meter_compute=meter_compute,
-                        comm=comm)
+                        comm=comm, result_sharing=result_sharing)
     try:
         out = rt.run(fn, *args, rank_args=rank_args, **kwargs)
     finally:

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil, log2
-from typing import Dict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.simmpi.metrics import CollectiveEvent, CommStats
 
@@ -82,6 +84,27 @@ class MachineModel:
         latency, bandwidth = self.cost_parts(event, nprocs)
         return latency + bandwidth
 
+    def cost_parts_batch(
+        self, events: Sequence[CollectiveEvent], nprocs: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-event ``(latency, bandwidth)`` arrays — the NumPy-batched
+        form of :meth:`cost_parts`.  One stacked max over an
+        ``(events, ranks)`` matrix replaces per-event Python reductions,
+        which is what keeps :class:`TimeModel` evaluation flat in the
+        event count at thousands of ranks."""
+        n = len(events)
+        if n == 0 or nprocs <= 1:
+            return np.zeros(n), np.zeros(n)
+        pairwise = np.fromiter(
+            (e.op in _PAIRWISE_OPS for e in events), dtype=bool, count=n
+        )
+        tree_hops = max(1, ceil(log2(nprocs)))
+        latency = self.alpha * np.where(pairwise, nprocs - 1, tree_hops)
+        max_bytes = np.stack(
+            [e.bytes_sent for e in events]
+        ).max(axis=1).astype(np.float64)
+        return latency, self.beta * max_bytes
+
 
 #: Gemini-interconnect-flavored constants for the Blue Waters analog.
 #: One simulated rank = one 16-core XE6 node (the paper's configuration:
@@ -107,26 +130,63 @@ SINGLE_NODE_MPI = MachineModel(
 )
 
 
+def _grouped_max(
+    wires: List[np.ndarray], groups: List[Optional[np.ndarray]]
+) -> np.ndarray:
+    """Per-event busiest-group injected bytes: ``max_g sum_{r in g} wire(r)``.
+
+    When every event shares one group map (the common case — one topology
+    per run), a single ``np.add.reduceat`` over the stacked
+    ``(events, ranks)`` matrix replaces per-event ``bincount`` calls;
+    group maps are contiguous ascending by construction
+    (:meth:`~repro.simmpi.topology.Topology.node_of_ranks`).  Values are
+    integral, so both paths are exact and agree bit-for-bit with the
+    scalar accessors.
+    """
+    n = len(wires)
+    out = np.empty(n)
+    g0 = groups[0]
+    if g0 is not None and all(g is g0 for g in groups):
+        mat = np.stack(wires).astype(np.float64)
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(g0)) + 1))
+        out[:] = np.add.reduceat(mat, starts, axis=1).max(axis=1)
+        return out
+    for i, (w, g) in enumerate(zip(wires, groups)):
+        if g is None:
+            out[i] = float(w.sum())
+        else:
+            per = np.bincount(g, weights=w)
+            out[i] = float(per.max()) if per.size else 0.0
+    return out
+
+
 @dataclass(frozen=True)
 class TieredMachineModel(MachineModel):
-    """Two-tier alpha-beta constants for topology-aware metering.
+    """Multi-tier alpha-beta constants for topology-aware metering.
 
     The inherited ``alpha``/``beta`` are the **inter-node** (network)
     constants; ``alpha_intra``/``beta_intra`` price the intra-node
-    (shared-memory) tier.  Events carrying
+    (shared-memory) tier and ``alpha_rack``/``beta_rack`` the cross-rack
+    (network-stage) tier.  Events carrying
     :class:`~repro.simmpi.metrics.TierMetering` (produced by the
     ``hierarchical`` communicator strategy) are priced per tier:
 
     ``cost = alpha_intra * intra_hops + alpha * inter_hops
+           + alpha_rack * xrack_hops
            + beta_intra * max_r wire_intra(r)
-           + beta * max_n sum_{r in node n} wire_inter(r)``
+           + beta * max_n sum_{r in node n} wire_inter(r)
+           + beta_rack * max_k sum_{r in rack k} wire_xrack(r)``
 
     — the intra bandwidth term is bound by the busiest *rank's*
     shared-memory traffic, the inter term by the busiest *node's* NIC
     (under two-level exchange a node's network traffic is leader-injected,
-    so summing the node's ranks is exact).  Events without tier metering
-    (``flat`` strategy, barrier-only rounds) fall back to the single-tier
-    formula at the inter-node constants, which is exactly the base
+    so summing the node's ranks is exact), and the rack term by the
+    busiest *rack's* uplink (cross-rack traffic is rack-leader injected).
+    On rack-less topologies ``xrack_hops`` and ``wire_xrack`` are zero,
+    so the rack terms vanish and the formula is bit-identical to the
+    historical two-tier one.  Events without tier metering (``flat``
+    strategy, barrier-only rounds) fall back to the single-tier formula
+    at the inter-node constants, which is exactly the base
     :class:`MachineModel` behavior — so a tiered flavor is a drop-in
     replacement.
     """
@@ -135,6 +195,12 @@ class TieredMachineModel(MachineModel):
     alpha_intra: float = 5.0e-7
     #: Seconds per byte of the busiest rank's intra-node wire traffic.
     beta_intra: float = 1.0 / 80.0e9
+    #: Per-hop latency of a cross-rack network stage (seconds) — an extra
+    #: switch traversal on top of the in-rack network.
+    alpha_rack: float = 2.5e-6
+    #: Seconds per byte of the busiest rack's cross-rack uplink (oversubscribed
+    #: spine: a fraction of the in-rack injection bandwidth).
+    beta_rack: float = 1.0 / 3.0e9
 
     def cost_parts(
         self, event: CollectiveEvent, nprocs: int
@@ -143,9 +209,52 @@ class TieredMachineModel(MachineModel):
         if tiers is None:
             return super().cost_parts(event, nprocs)
         latency = (self.alpha_intra * tiers.intra_hops
-                   + self.alpha * tiers.inter_hops)
+                   + self.alpha * tiers.inter_hops
+                   + self.alpha_rack * tiers.xrack_hops)
         bandwidth = (self.beta_intra * tiers.max_wire_intra
-                     + self.beta * tiers.max_node_wire_inter())
+                     + self.beta * tiers.max_node_wire_inter()
+                     + self.beta_rack * tiers.max_rack_wire_xrack())
+        return latency, bandwidth
+
+    def cost_parts_batch(
+        self, events: Sequence[CollectiveEvent], nprocs: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        n = len(events)
+        latency = np.zeros(n)
+        bandwidth = np.zeros(n)
+        if n == 0:
+            return latency, bandwidth
+        flat_idx = [i for i, e in enumerate(events) if e.tiers is None]
+        if flat_idx:
+            lat_f, bw_f = super().cost_parts_batch(
+                [events[i] for i in flat_idx], nprocs
+            )
+            latency[flat_idx] = lat_f
+            bandwidth[flat_idx] = bw_f
+        tiered_idx = [i for i, e in enumerate(events) if e.tiers is not None]
+        if not tiered_idx:
+            return latency, bandwidth
+        tiers = [events[i].tiers for i in tiered_idx]
+        hops = np.array(
+            [(t.intra_hops, t.inter_hops, t.xrack_hops) for t in tiers],
+            dtype=np.float64,
+        )
+        latency[tiered_idx] = (self.alpha_intra * hops[:, 0]
+                               + self.alpha * hops[:, 1]
+                               + self.alpha_rack * hops[:, 2])
+        wire_intra = np.stack([t.wire_intra for t in tiers])
+        bw = self.beta_intra * wire_intra.max(axis=1).astype(np.float64)
+        bw += self.beta * _grouped_max(
+            [t.wire_inter for t in tiers], [t.node_of for t in tiers]
+        )
+        racked = [t for t in tiers if t.wire_xrack is not None]
+        if racked:
+            bw += self.beta_rack * _grouped_max(
+                [t.wire_xrack if t.wire_xrack is not None
+                 else np.zeros_like(t.wire_inter) for t in tiers],
+                [t.rack_of for t in tiers],
+            )
+        bandwidth[tiered_idx] = bw
         return latency, bandwidth
 
 
@@ -156,16 +265,29 @@ class TieredMachineModel(MachineModel):
 #: ~80 GB/s — HyperTransport-era socket bandwidth), giving the realistic
 #: ~13x bandwidth gap between tiers (10-20x is typical across machines).
 #: ``gamma`` is per-rank single-core (ranks no longer bundle 16 threads).
+#: The rack tier models the Gemini torus's longer routes between cabinet
+#: groups: a couple of extra switch traversals of latency and a tapered
+#: (~half-injection) per-rack uplink.  It prices nothing unless the
+#: communicator spec names racks (``hierarchical:RxK``).
 BLUE_WATERS_TIERED = TieredMachineModel(
     alpha=1.5e-6, beta=1.0 / 6.0e9, compute_scale=1.0, gamma=4.0e-9,
     alpha_intra=5.0e-7, beta_intra=1.0 / 80.0e9,
+    alpha_rack=2.5e-6, beta_rack=1.0 / 3.0e9,
     name="blue-waters-tiered",
 )
 
 
 @dataclass
 class TimeModel:
-    """Assembles a modeled parallel execution time from metered stats."""
+    """Assembles a modeled parallel execution time from metered stats.
+
+    Evaluation is NumPy-batched: one pass stacks the per-rank meters of
+    all events into ``(events, ranks)`` matrices and reduces them with
+    axis operations (see :meth:`MachineModel.cost_parts_batch`), so
+    pricing a run costs a handful of vectorized reductions instead of
+    ``rounds x ranks`` Python-level work — the difference between
+    milliseconds and seconds at 2048 simulated ranks.
+    """
 
     machine: MachineModel = BLUE_WATERS_LIKE
 
@@ -176,33 +298,50 @@ class TimeModel:
             + self.machine.collective_cost(event, nprocs)
         )
 
+    def _batched_parts(
+        self, stats: CommStats
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Per-event ``(compute, work, latency, bandwidth)`` seconds."""
+        events = stats.events
+        n = len(events)
+        if n == 0:
+            z = np.zeros(0)
+            return z, z, z, z
+        m = self.machine
+        compute = m.compute_scale * np.stack(
+            [e.compute_seconds for e in events]
+        ).max(axis=1)
+        p = len(events[0].compute_seconds)
+        work = m.gamma * np.stack(
+            [e.work_units if e.work_units is not None
+             else np.zeros(p) for e in events]
+        ).max(axis=1)
+        latency, bandwidth = m.cost_parts_batch(events, stats.nprocs)
+        return compute, work, latency, bandwidth
+
     def total_time(self, stats: CommStats) -> float:
         """Modeled wall time of the whole SPMD run (seconds)."""
-        return float(
-            sum(self.superstep_time(e, stats.nprocs) for e in stats.events)
-        )
+        compute, work, latency, bandwidth = self._batched_parts(stats)
+        return float(compute.sum() + work.sum()
+                     + latency.sum() + bandwidth.sum())
 
     def breakdown(self, stats: CommStats) -> Dict[str, float]:
         """Compute vs. latency vs. bandwidth decomposition of total time."""
-        compute = latency = bandwidth = work = 0.0
-        p = stats.nprocs
-        for e in stats.events:
-            compute += self.machine.compute_scale * e.max_compute
-            work += self.machine.gamma * e.max_work
-            lat, bw = self.machine.cost_parts(e, p)
-            latency += lat
-            bandwidth += bw
-        return {
-            "compute": compute,
-            "work": work,
-            "latency": latency,
-            "bandwidth": bandwidth,
-            "total": compute + work + latency + bandwidth,
+        compute, work, latency, bandwidth = self._batched_parts(stats)
+        parts = {
+            "compute": float(compute.sum()),
+            "work": float(work.sum()),
+            "latency": float(latency.sum()),
+            "bandwidth": float(bandwidth.sum()),
         }
+        parts["total"] = sum(parts.values())
+        return parts
 
     def time_by_tag(self, stats: CommStats) -> Dict[str, float]:
         """Modeled time attributed to each phase tag."""
+        compute, work, latency, bandwidth = self._batched_parts(stats)
+        per_event = compute + work + latency + bandwidth
         out: Dict[str, float] = {}
-        for e in stats.events:
-            out[e.tag] = out.get(e.tag, 0.0) + self.superstep_time(e, stats.nprocs)
+        for e, t in zip(stats.events, per_event):
+            out[e.tag] = out.get(e.tag, 0.0) + float(t)
         return out

@@ -59,6 +59,22 @@ Latency hops per round: pairwise ops cost ``n_nodes - 1`` inter hops plus
 tree ops cost ``ceil(log2 n_nodes)`` inter plus ``2 * ceil(log2
 max_node_size)`` intra (reduce up, broadcast down).  A single-node
 topology degenerates to all-intra; one-rank nodes degenerate to ``flat``.
+
+Rack topologies (``hierarchical:RxK``) add a third tier: payload is
+classified ``intra`` (same node) / ``inter`` (off-node, same rack) /
+``xrack`` (off-rack), still summing to the rank's metered bytes, and the
+wire model grows a ``wire_xrack`` leg — cross-rack traffic is
+*rack-leader* injected (the lowest rank of a rack aggregates its nodes'
+off-rack messages), so the rack tier's bandwidth bound is the busiest
+rack's uplink.  Latency adds ``n_racks - 1`` (pairwise) or ``ceil(log2
+n_racks)`` (tree) cross-rack hops while the inter hop count narrows to
+the within-rack node count.  Without racks every formula reduces to the
+two-tier form above, bit-identically.
+
+All locality classes are computed as **contiguous slice sums** (ranks are
+packed node-major, nodes rack-major), so a deposit costs O(1) NumPy
+reductions instead of the per-rank boolean masks an explicit node-map
+comparison would allocate.
 """
 
 from __future__ import annotations
@@ -95,8 +111,10 @@ class HierarchicalCommunicator(Communicator):
 
     def __init__(self, topology) -> None:
         super().__init__(topology)
-        self._leader_mask = np.zeros(topology.nprocs, dtype=bool)
-        self._leader_mask[::topology.ranks_per_node] = True
+        #: Shared rank -> rack map (None without a rack tier), reused by
+        #: every event's TierMetering like :attr:`node_map`.
+        self.rack_map = (topology.rack_of_ranks()
+                         if topology.has_racks else None)
 
     def tier_contribution(
         self,
@@ -106,91 +124,150 @@ class HierarchicalCommunicator(Communicator):
         dest_bytes: Optional[np.ndarray] = None,
         root: Optional[int] = None,
         counts: bool = False,
-    ) -> Tuple[int, int, int, int]:
+    ) -> Tuple[int, ...]:
+        """Rack-less topologies return the historical 4-tuple ``(intra,
+        inter, wire_intra, wire_inter)``; rack topologies return a 6-tuple
+        with ``xrack`` and ``wire_xrack`` appended after each pair:
+        ``(intra, inter, xrack, wire_intra, wire_inter, wire_xrack)``.
+        Conservation holds per width: the classification entries sum to
+        ``nbytes`` either way."""
         topo = self.topology
+        racked = topo.has_racks
         b = int(nbytes)
         multi = topo.multi_node
+        multi_rack = topo.multi_rack
         leader = topo.is_leader(rank)
         my_node = topo.node_of(rank)
 
-        if op in _DEST_OPS and dest_bytes is not None:
-            dest = np.asarray(dest_bytes, dtype=np.int64)
-            node_map = self.node_map
-            same = node_map == my_node
-            same[rank] = False  # self slot carries no metered bytes
-            off = ~same
-            off[rank] = False
-            intra = int(dest[same].sum())
-            inter = int(dest[off].sum())
-            # wire model: local delivery + gather-to-leader for a
-            # non-leader's outbound inter bytes + remote scatter for
-            # off-node bytes not addressed to the remote leader
-            gather_leg = 0 if leader else inter
-            scatter_leg = int(dest[off & ~self._leader_mask].sum())
-            wire_intra = intra + gather_leg + scatter_leg
-            if counts:
-                wire_inter = COUNT_WIRE_BYTES * int(np.count_nonzero(off))
-            else:
-                wire_inter = inter
+        def out(intra, inter, wire_intra, wire_inter, xrack=0, wire_xrack=0):
+            if racked:
+                return intra, inter, xrack, wire_intra, wire_inter, wire_xrack
             return intra, inter, wire_intra, wire_inter
+
+        if op in _DEST_OPS and dest_bytes is not None:
+            # contiguous packing (ranks node-major, nodes rack-major) turns
+            # every locality class into a slice sum — no O(P) boolean masks
+            dest = np.asarray(dest_bytes, dtype=np.int64)
+            node_lo = topo.leader_of(rank)
+            node_hi = node_lo + topo.node_size(my_node)
+            total = int(dest.sum())
+            intra = int(dest[node_lo:node_hi].sum())  # self slot is zero
+            off_node = total - intra
+            # wire model: local delivery + gather-to-leader for a
+            # non-leader's outbound off-node bytes + remote scatter for
+            # off-node bytes not addressed to the remote leader
+            gather_leg = 0 if leader else off_node
+            leaders_total = int(dest[::topo.ranks_per_node].sum())
+            scatter_leg = off_node - (leaders_total - int(dest[node_lo]))
+            wire_intra = intra + gather_leg + scatter_leg
+            if multi_rack:
+                rack_lo, rack_hi = topo.rack_span(topo.rack_of(rank))
+                in_rack = int(dest[rack_lo:rack_hi].sum())
+                inter = in_rack - intra
+                xrack = total - in_rack
+            else:
+                inter, xrack = off_node, 0
+            if counts:
+                nnz_total = int(np.count_nonzero(dest))
+                nnz_node = int(np.count_nonzero(dest[node_lo:node_hi]))
+                if multi_rack:
+                    nnz_rack = int(np.count_nonzero(dest[rack_lo:rack_hi]))
+                    wire_inter = COUNT_WIRE_BYTES * (nnz_rack - nnz_node)
+                    wire_xrack = COUNT_WIRE_BYTES * (nnz_total - nnz_rack)
+                else:
+                    wire_inter = COUNT_WIRE_BYTES * (nnz_total - nnz_node)
+                    wire_xrack = 0
+            else:
+                wire_inter, wire_xrack = inter, xrack
+            return out(intra, inter, wire_intra, wire_inter, xrack, wire_xrack)
 
         if op in _REDUCE_OPS:
             if not multi:
-                return b, 0, b, 0
-            if leader:
-                # leader injects the node's reduced value inter-node and
-                # fans the result back down if the node has peers
-                fanout = b if topo.node_size(my_node) > 1 else 0
-                return 0, b, fanout, b
-            return b, 0, b, 0
+                return out(b, 0, b, 0)
+            if not leader:
+                return out(b, 0, b, 0)
+            # leader injects the node's reduced value upward and fans the
+            # result back down if the node has peers
+            fanout = b if topo.node_size(my_node) > 1 else 0
+            if multi_rack and topo.is_rack_leader(rank):
+                # rack leader carries the rack's value across racks and
+                # redistributes the global result to its peer node leaders
+                rack_lo, rack_hi = topo.rack_span(topo.rack_of(rank))
+                rack_nodes = -(-(rack_hi - rack_lo) // topo.ranks_per_node)
+                rack_fanout = b if rack_nodes > 1 else 0
+                return out(0, 0, fanout, rack_fanout, b, b)
+            return out(0, b, fanout, b)
 
         if op in _CONCAT_OPS:
             if not multi:
-                return b, 0, b, 0
+                return out(b, 0, b, 0)
             # the contribution must reach every node: inter by nature;
             # non-leaders also pay the local gather, leaders the fan-out
             local_leg = b if (not leader or topo.node_size(my_node) > 1) else 0
-            return 0, b, local_leg, b
+            if multi_rack:
+                return out(0, 0, local_leg, b, b, b)
+            return out(0, b, local_leg, b)
 
         if op == "bcast":
             if root is None or rank != root or b == 0:
-                return 0, 0, 0, 0
+                return out(0, 0, 0, 0)
             if not multi:
-                return b, 0, b, 0
+                return out(b, 0, b, 0)
             fanout = b if topo.node_size(my_node) > 1 else 0
-            return 0, b, fanout, b
+            if multi_rack:
+                return out(0, 0, fanout, b, b, b)
+            return out(0, b, fanout, b)
 
         if op in _GATHER_OPS:
             if root is None or b == 0:
-                return 0, 0, 0, 0
+                return out(0, 0, 0, 0)
             if topo.same_node(rank, root):
-                return b, 0, b, 0
+                return out(b, 0, b, 0)
             gather_leg = 0 if leader else b
-            return 0, b, gather_leg, b
+            if multi_rack and not topo.same_rack(rank, root):
+                return out(0, 0, gather_leg, b, b, b)
+            return out(0, b, gather_leg, b)
 
         if op == "checkpoint":
             # snapshots leave the node for stable storage regardless of
-            # topology; non-leaders stage through the leader's writer
+            # topology (documented exception: never charged to the rack
+            # tier); non-leaders stage through the leader's writer
             gather_leg = 0 if (leader or not multi) else b
-            return 0, b, gather_leg, b
+            return out(0, b, gather_leg, b)
 
-        # unknown op: conservatively treat every metered byte as inter
-        return (0, b, 0, b) if multi else (b, 0, b, 0)
+        # unknown op: conservatively charge every metered byte to the
+        # widest tier the topology has
+        if not multi:
+            return out(b, 0, b, 0)
+        if multi_rack:
+            return out(0, 0, 0, 0, b, b)
+        return out(0, b, 0, b)
 
-    def hops(self, op: str) -> Tuple[int, int]:
+    def hops(self, op: str) -> Tuple[int, ...]:
+        """``(intra, inter)`` latency hops, with a third cross-rack entry
+        appended on rack topologies (legacy values preserved otherwise:
+        on a rack topology the inter entry narrows to the within-rack
+        node count)."""
         topo = self.topology
         n_nodes = topo.n_nodes
         width = topo.max_node_size
+        racked = topo.has_racks
+        peers = topo.max_nodes_per_rack if racked else n_nodes
+        n_racks = topo.n_racks
         if op in _PAIRWISE_OPS:
             intra = 3 * (width - 1)
-            inter = n_nodes - 1
+            inter = peers - 1
+            xrack = n_racks - 1
             if n_nodes == 1:
                 intra = width - 1  # no gather/scatter legs, plain local
         else:
             intra = 2 * (ceil(log2(width)) if width > 1 else 0)
-            inter = ceil(log2(n_nodes)) if n_nodes > 1 else 0
+            inter = ceil(log2(peers)) if peers > 1 else 0
+            xrack = ceil(log2(n_racks)) if n_racks > 1 else 0
             if n_nodes == 1:
                 intra = ceil(log2(width)) if width > 1 else 0
+        if racked:
+            return intra, inter, xrack
         return intra, inter
 
 

@@ -61,14 +61,15 @@ def parse_comm_spec(spec: str) -> Tuple[str, Optional[int], Optional[int]]:
             f"malformed communicator spec {spec!r}; expected NAME[:R[xK]] "
             f"with integer R ranks/node and K nodes/rack"
         )
-    try:
-        rpn = int(rpn_s)
-        npr = int(npr_s) if npr_s else None
-    except ValueError:
+    # int() tolerates surrounding whitespace and sign characters; the
+    # grammar does not ("8 x 4" is a typo, not a spec)
+    if not rpn_s.isdigit() or (npr_s and not npr_s.isdigit()):
         raise ValueError(
             f"malformed communicator spec {spec!r}; expected NAME[:R[xK]] "
             f"with integer R ranks/node and K nodes/rack"
-        ) from None
+        )
+    rpn = int(rpn_s)
+    npr = int(npr_s) if npr_s else None
     if rpn < 1 or (npr is not None and npr < 1):
         raise ValueError(f"communicator spec {spec!r}: R and K must be >= 1")
     return name, rpn, npr
@@ -146,13 +147,57 @@ class Topology:
             return 1
         return -(-self.n_nodes // self.nodes_per_rack)
 
+    @property
+    def multi_rack(self) -> bool:
+        return self.has_racks and self.n_racks > 1
+
+    @property
+    def ranks_per_rack(self) -> int:
+        """Rank stride of one rack (full racks; the last may be short)."""
+        if not self.has_racks:
+            return self.nprocs
+        return self.ranks_per_node * self.nodes_per_rack
+
+    @property
+    def max_nodes_per_rack(self) -> int:
+        """Nodes in the fullest rack (the rack tier's fan-in bound)."""
+        if not self.has_racks:
+            return self.n_nodes
+        return min(self.nodes_per_rack, self.n_nodes)
+
     def rack_of(self, rank: int) -> int:
         if not self.has_racks:
             return 0
         return self.node_of(rank) // self.nodes_per_rack
 
+    def rack_of_ranks(self) -> np.ndarray:
+        """``(nprocs,)`` int32 map rank -> rack id (all zero without racks)."""
+        if not self.has_racks:
+            return np.zeros(self.nprocs, dtype=np.int32)
+        return self.node_of_ranks() // np.int32(self.nodes_per_rack)
+
+    def rack_span(self, rack: int) -> Tuple[int, int]:
+        """Contiguous rank range ``[lo, hi)`` of ``rack`` (ranks are packed
+        node-major, so a rack is always one slice of the rank axis)."""
+        stride = self.ranks_per_rack
+        lo = rack * stride
+        if not 0 <= lo < self.nprocs:
+            raise ValueError(f"no rack {rack} in {self}")
+        return lo, min(lo + stride, self.nprocs)
+
+    def rack_leader_of(self, rank: int) -> int:
+        """The rack leader: lowest rank of ``rank``'s rack (the rank that
+        injects the rack's aggregated cross-rack traffic)."""
+        return self.rack_of(rank) * self.ranks_per_rack
+
+    def is_rack_leader(self, rank: int) -> bool:
+        return self.has_racks and rank % self.ranks_per_rack == 0
+
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
 
     def describe(self) -> str:
         rack = (f" x {self.nodes_per_rack} nodes/rack ({self.n_racks} racks)"

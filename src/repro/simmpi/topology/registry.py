@@ -66,6 +66,10 @@ class Communicator:
     #: entirely and events carry ``tiers=None``.
     tiered: bool = False
 
+    #: Shared rank -> rack map, or None without a rack tier (tiered
+    #: subclasses over rack topologies set an instance attribute).
+    rack_map = None
+
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         #: Shared rank -> node map, reused by every event's TierMetering.
@@ -79,7 +83,7 @@ class Communicator:
         dest_bytes: Optional[np.ndarray] = None,
         root: Optional[int] = None,
         counts: bool = False,
-    ) -> Optional[Tuple[int, int, int, int]]:
+    ) -> Optional[Tuple[int, ...]]:
         """This rank's ``(intra, inter, wire_intra, wire_inter)`` bytes for
         one collective deposit, or None for single-tier metering.
 
@@ -89,11 +93,17 @@ class Communicator:
         ``dest_bytes`` gives per-destination payload for destination-
         addressed ops (self entry zero), ``root`` the root of rooted ops,
         and ``counts`` flags an Alltoallv-internal count-header exchange.
+
+        Strategies over rack topologies return the widened 6-tuple
+        ``(intra, inter, xrack, wire_intra, wire_inter, wire_xrack)``
+        instead (conservation becomes ``intra + inter + xrack == nbytes``);
+        the width must be uniform across ranks and ops of a run.
         """
         return None
 
-    def hops(self, op: str) -> Tuple[int, int]:
-        """``(intra_hops, inter_hops)`` latency hops of one ``op`` round."""
+    def hops(self, op: str) -> Tuple[int, ...]:
+        """``(intra_hops, inter_hops)`` latency hops of one ``op`` round
+        (plus a third cross-rack entry on rack topologies)."""
         return (0, 0)
 
     def describe(self) -> str:

@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.simmpi import Runtime, run_spmd
+from repro.simmpi.dataplane import materialize
 
 NPROCS = [1, 2, 3, 4, 8]
 
@@ -48,10 +49,14 @@ def test_Bcast_array(nprocs):
         np.testing.assert_array_equal(o, np.arange(10) * 3)
 
 
-def test_Bcast_receivers_get_private_copies():
+def test_Bcast_receivers_get_isolated_results():
+    # In the default shared mode receivers hold one sealed result, so a
+    # rank that wants to mutate materializes a private copy first — and
+    # those copies stay isolated across ranks, same as the historical
+    # per-rank private copies.
     def fn(comm):
         arr = np.zeros(4) if comm.rank == 0 else np.empty(4)
-        got = comm.Bcast(arr, root=0)
+        got = materialize(comm.Bcast(arr, root=0))
         got += comm.rank  # must not affect other ranks
         comm.barrier()
         return got.copy()

@@ -1,0 +1,230 @@
+"""The rack tier: ``hierarchical:RxK`` grammar edge cases, rack
+classification on the :class:`Topology`, three-tier byte conservation
+(``intra + inter + xrack == bytes_sent``), and rack-aware pricing by
+:class:`~repro.simmpi.timing.TieredMachineModel` — including the guarantee
+that rack-less records price exactly as before the tier existed."""
+
+import numpy as np
+import pytest
+
+from repro.core import PulpParams
+from repro.simmpi import (
+    BLUE_WATERS_TIERED,
+    TieredMachineModel,
+    TimeModel,
+    run_spmd,
+)
+from repro.simmpi.topology import (
+    Topology,
+    create_communicator,
+    make_topology,
+    parse_comm_spec,
+)
+
+BACKENDS = ("serial", "threads", "procs")
+
+backends = pytest.mark.parametrize("backend", BACKENDS)
+
+
+# -- spec grammar edge cases -------------------------------------------------
+
+def test_rack_spec_parses():
+    assert parse_comm_spec("hierarchical:8x4") == ("hierarchical", 8, 4)
+    assert parse_comm_spec("hierarchical:1x1") == ("hierarchical", 1, 1)
+    assert parse_comm_spec("hierarchical:128x64") == ("hierarchical", 128, 64)
+
+
+@pytest.mark.parametrize("bad", [
+    "hierarchical:8x",      # dangling rack separator
+    "hierarchical:x4",      # missing ranks/node
+    "hierarchical:8x0",     # rack width must be positive
+    "hierarchical:8x-3",
+    "hierarchical:8x4x2",   # only two structure levels in the grammar
+    "hierarchical:8X4",     # the separator is a lowercase 'x'
+    "hierarchical:8x4.5",
+    "hierarchical:8 x 4",
+])
+def test_rack_spec_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_comm_spec(bad)
+
+
+def test_params_accept_and_validate_rack_spec():
+    assert PulpParams(comm="hierarchical:4x2").comm == "hierarchical:4x2"
+    with pytest.raises(ValueError):
+        PulpParams(comm="hierarchical:4x0")
+
+
+def test_oversized_rack_spec_is_one_rack():
+    """More nodes/rack than nodes exist: everything lands in rack 0 (same
+    clamping stance as a ranks/node wider than the run)."""
+    c = create_communicator("hierarchical:2x64", nprocs=8)
+    t = c.topology
+    assert t.has_racks and t.n_racks == 1 and not t.multi_rack
+    assert t.max_nodes_per_rack == t.n_nodes == 4
+
+
+# -- rack classification -----------------------------------------------------
+
+def test_rack_of_ranks_matches_scalar():
+    t = Topology(nprocs=22, ranks_per_node=4, nodes_per_rack=2)
+    racks = t.rack_of_ranks()
+    assert racks.dtype == np.int32
+    np.testing.assert_array_equal(racks, [t.rack_of(r) for r in range(22)])
+
+
+def test_rack_grouping_with_short_tail():
+    # 22 ranks / 4 per node = 6 nodes (last short) / 2 per rack = 3 racks
+    t = Topology(nprocs=22, ranks_per_node=4, nodes_per_rack=2)
+    assert t.n_racks == 3
+    assert t.ranks_per_rack == 8
+    assert t.rack_span(0) == (0, 8)
+    assert t.rack_span(2) == (16, 22)  # short last rack
+    with pytest.raises(ValueError):
+        t.rack_span(3)
+    assert t.same_rack(0, 7) and not t.same_rack(7, 8)
+    assert "3 racks" in t.describe()
+
+
+def test_rack_leaders():
+    t = Topology(nprocs=16, ranks_per_node=2, nodes_per_rack=2)
+    assert [t.rack_leader_of(r) for r in range(8)] == [0, 0, 0, 0, 4, 4, 4, 4]
+    assert t.is_rack_leader(0) and t.is_rack_leader(4)
+    assert not t.is_rack_leader(2)  # node leader, but not rack leader
+    flat = Topology(nprocs=16, ranks_per_node=2)
+    assert not flat.is_rack_leader(0)  # no rack tier, no rack leaders
+
+
+def test_make_topology_threads_rack_width_through():
+    t = make_topology(32, ranks_per_node=4, nodes_per_rack=2)
+    assert t.has_racks and t.n_racks == 4
+    assert make_topology(32, ranks_per_node=4).nodes_per_rack == 0
+
+
+def test_degenerate_one_rank_racks():
+    """hierarchical:1x1 — every rank its own node *and* rack: nothing is
+    intra or in-rack, so every metered byte classifies cross-rack."""
+    c = create_communicator("hierarchical:1x1", nprocs=4)
+    dest = np.array([0, 10, 20, 30], dtype=np.int64)
+    intra, inter, xrack, *_ = c.tier_contribution(
+        "alltoallv", 0, int(dest.sum()), dest_bytes=dest)
+    assert (intra, inter, xrack) == (0, 0, 60)
+
+
+def test_tier_contribution_rack_split():
+    # 8 ranks: nodes {0,1} {2,3} {4,5} {6,7}; racks {0..3} {4..7}
+    c = create_communicator("hierarchical:2x2", nprocs=8)
+    dest = np.array([0, 1, 2, 4, 8, 16, 32, 64], dtype=np.int64)
+    intra, inter, xrack, wi, we, wx = c.tier_contribution(
+        "alltoallv", 0, int(dest.sum()), dest_bytes=dest)
+    assert intra == 1            # rank 1: same node
+    assert inter == 2 + 4        # ranks 2,3: off-node, same rack
+    assert xrack == 8 + 16 + 32 + 64
+    assert intra + inter + xrack == dest.sum()
+
+
+# -- three-tier conservation on live runs ------------------------------------
+
+def _workout(comm):
+    rank, size = comm.rank, comm.size
+    rng = np.random.default_rng(rank)
+    cts = rng.integers(0, 5, size=size).astype(np.int64)
+    cts[rank] = 0
+    payload = np.arange(int(cts.sum()), dtype=np.int64) + 100 * rank
+    recv, rcts = comm.Alltoallv(payload, cts)
+    total = comm.allreduce(int(recv.sum()))
+    gathered = comm.allgather(rank * rank)
+    top = comm.bcast(total if rank == 0 else None, root=0)
+    return total, tuple(gathered), top, int(rcts.sum())
+
+
+@backends
+def test_three_tier_split_sums_to_bytes_sent(backend):
+    _, st = run_spmd(8, _workout, backend=backend,
+                     meter_compute=False, comm="hierarchical:2x2")
+    tiered = [e for e in st.events if e.tiers is not None]
+    assert tiered
+    racked = [e for e in tiered if e.tiers.xrack_bytes is not None]
+    assert racked  # the rack tier actually engaged
+    for e in racked:
+        np.testing.assert_array_equal(
+            e.tiers.intra_bytes + e.tiers.inter_bytes + e.tiers.xrack_bytes,
+            e.bytes_sent)
+    by_op = st.bytes_by_op()
+    for op, (intra, inter, xrack) in st.rack_tier_bytes_by_op().items():
+        assert intra + inter + xrack == by_op[op]
+    # the two-way rollup folds xrack into inter — the splits must agree
+    for op, (intra2, inter2) in st.tier_bytes_by_op().items():
+        intra3, inter3, xrack3 = st.rack_tier_bytes_by_op()[op]
+        assert intra2 == intra3 and inter2 == inter3 + xrack3
+    assert st.modeled_xrack_bytes() > 0
+
+
+def test_flat_records_classify_as_xrack():
+    """Under flat metering every rank is its own node and rack, so the
+    three-way rollup puts every byte in the widest tier."""
+    _, st = run_spmd(4, _workout, backend="serial",
+                     meter_compute=False, comm="flat")
+    by_op = st.bytes_by_op()
+    for op, (intra, inter, xrack) in st.rack_tier_bytes_by_op().items():
+        assert intra == 0 and inter == 0 and xrack == by_op[op]
+    assert st.modeled_xrack_bytes() == 0  # no *wire* model without tiers
+
+
+@backends
+def test_rack_tier_never_changes_results(backend):
+    out_h, st_h = run_spmd(8, _workout, backend=backend,
+                           meter_compute=False, comm="hierarchical:2")
+    out_r, st_r = run_spmd(8, _workout, backend=backend,
+                           meter_compute=False, comm="hierarchical:2x2")
+    assert out_h == out_r
+    assert st_h.signature() == st_r.signature()
+
+
+# -- pricing -----------------------------------------------------------------
+
+def _stats(comm_spec):
+    _, st = run_spmd(8, _workout, backend="serial",
+                     meter_compute=False, comm=comm_spec)
+    return st
+
+
+def test_rack_terms_price_rack_traffic():
+    st = _stats("hierarchical:2x2")
+    base = TimeModel(machine=BLUE_WATERS_TIERED).total_time(st)
+    pricier = TieredMachineModel(
+        alpha=BLUE_WATERS_TIERED.alpha, beta=BLUE_WATERS_TIERED.beta,
+        alpha_intra=BLUE_WATERS_TIERED.alpha_intra,
+        beta_intra=BLUE_WATERS_TIERED.beta_intra,
+        alpha_rack=10 * BLUE_WATERS_TIERED.alpha_rack,
+        beta_rack=10 * BLUE_WATERS_TIERED.beta_rack,
+    )
+    assert TimeModel(machine=pricier).total_time(st) > base
+
+
+def test_rackless_records_price_independent_of_rack_constants():
+    """Without racks the xrack meters are zero, so the rack constants must
+    be inert — the tiered model stays bit-identical to its two-tier self."""
+    for spec in ("flat", "hierarchical:2"):
+        st = _stats(spec)
+        base = TimeModel(machine=BLUE_WATERS_TIERED).total_time(st)
+        scaled = TieredMachineModel(
+            alpha=BLUE_WATERS_TIERED.alpha, beta=BLUE_WATERS_TIERED.beta,
+            alpha_intra=BLUE_WATERS_TIERED.alpha_intra,
+            beta_intra=BLUE_WATERS_TIERED.beta_intra,
+            alpha_rack=1000 * BLUE_WATERS_TIERED.alpha_rack,
+            beta_rack=1000 * BLUE_WATERS_TIERED.beta_rack,
+        )
+        assert TimeModel(machine=scaled).total_time(st) == base
+
+
+def test_batched_pricing_matches_scalar():
+    """The NumPy-batched cost path must agree bit-for-bit with the scalar
+    per-event accessors, rack terms included."""
+    st = _stats("hierarchical:2x2")
+    m = BLUE_WATERS_TIERED
+    lat_b, bw_b = m.cost_parts_batch(st.events, st.nprocs)
+    for i, e in enumerate(st.events):
+        lat_s, bw_s = m.cost_parts(e, st.nprocs)
+        assert lat_b[i] == lat_s
+        assert bw_b[i] == bw_s

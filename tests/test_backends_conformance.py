@@ -11,6 +11,7 @@ import textwrap
 import numpy as np
 import pytest
 
+from repro.simmpi.dataplane import materialize
 from repro.simmpi import (
     Backend,
     CollectiveMismatchError,
@@ -99,9 +100,9 @@ def test_bcast_object(backend):
 def test_Bcast_array(backend):
     def fn(comm):
         arr = np.arange(5) * 7 if comm.rank == 1 else np.empty(0)
-        got = comm.Bcast(arr, root=1)
+        got = materialize(comm.Bcast(arr, root=1))
         got_sum = int(got.sum())
-        got[:] = comm.rank  # returned buffers must be rank-private
+        got[:] = comm.rank  # materialized buffers must be rank-private
         return got_sum
 
     out, _ = run_on(backend, 3, fn)
@@ -122,8 +123,8 @@ def test_allreduce_scalar_ops(backend):
 @backends
 def test_Allreduce_array(backend):
     def fn(comm):
-        total = comm.Allreduce(np.full(4, comm.rank + 1.0))
-        total += comm.rank  # rank-private result buffers
+        total = materialize(comm.Allreduce(np.full(4, comm.rank + 1.0)))
+        total += comm.rank  # materialized buffers are rank-private
         return total.tolist()
 
     out, _ = run_on(backend, 3, fn)
