@@ -7,9 +7,13 @@ assignment (one part id per line, vertex order).
 Fault tolerance: ``--checkpoint-dir`` snapshots the run at phase
 boundaries (``--checkpoint-every`` picks the granularity) and ``--resume``
 restarts a killed run from its last committed epoch, bit-identically.
-Exit codes distinguish the outcomes (see ``--help`` epilog):
-0 success, 1 run failed, 2 usage/input error, 3 run failed but a committed
-checkpoint is available for ``--resume``, 4 success after resuming.
+``--watchdog-timeout`` bounds how long any rank may stall before it is
+declared hung and killed; ``--integrity crc`` verifies a crc32 of every
+collective payload at receive.  Exit codes distinguish the outcomes (see
+``--help`` epilog): 0 success, 1 run failed, 2 usage/input error, 3 run
+failed but a committed checkpoint is available for ``--resume``, 4 success
+after resuming, 5 a rank hung and was killed by the watchdog with a
+committed checkpoint available for ``--resume``.
 """
 
 from __future__ import annotations
@@ -25,12 +29,15 @@ from repro.graph import io
 from repro.simmpi import available_backends
 
 #: Exit codes (documented in ``--help``): distinct values let wrapper
-#: scripts drive the retry loop (`re-exec with --resume` on 3).
+#: scripts drive the retry loop (re-exec with ``--resume`` on 3 or 5;
+#: 5 additionally tells the wrapper the failure was a detected hang, so
+#: it can e.g. quarantine the node before relaunching).
 EXIT_OK = 0
 EXIT_FAILED = 1
 EXIT_USAGE = 2
 EXIT_FAILED_CKPT = 3
 EXIT_RESUMED = 4
+EXIT_HUNG = 5
 
 
 def _load_graph(path: str):
@@ -49,7 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
             "exit codes: 0 partitioned successfully; 1 run failed; "
             "2 usage or input error; 3 run failed but a committed "
             "checkpoint epoch is available (re-run with --resume); "
-            "4 partitioned successfully after resuming from a checkpoint"
+            "4 partitioned successfully after resuming from a checkpoint; "
+            "5 a rank hung, was killed by the watchdog, and a committed "
+            "checkpoint epoch is available (re-run with --resume)"
         ),
     )
     parser.add_argument("graph", help="edge list (.txt), METIS (.metis/.graph), or .npz")
@@ -120,11 +129,30 @@ def build_parser() -> argparse.ArgumentParser:
                          "epoch) or a specific epoch_NNNN directory; the "
                          "resumed run is bit-identical to an uninterrupted "
                          "one and exits 4 on success")
-    ft.add_argument("--inject-fault", metavar="RANK:PHASE:STEP[:ACTION]",
+    ft.add_argument("--inject-fault",
+                    metavar="RANK:PHASE:STEP[:ACTION[:SECONDS]]",
                     help="plant a deterministic fault (testing): the given "
                          "rank fails at the given collective index of the "
                          "given phase; ACTION is raise (default), die "
-                         "(hard process kill, procs backend), or delay")
+                         "(hard process kill, procs backend), delay "
+                         "(sleep SECONDS; past --watchdog-timeout this "
+                         "models an indefinite hang), or corrupt (flip "
+                         "one payload byte in flight)")
+    ft.add_argument("--watchdog-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="declare a rank hung after SECONDS without "
+                         "progress and kill it (procs backend) or fail it "
+                         "in place (in-process backends); 0 or unset "
+                         "disables the watchdog ($REPRO_WATCHDOG_TIMEOUT); "
+                         "with --checkpoint-dir a detected hang exits 5 "
+                         "and is resumable like a crash")
+    ft.add_argument("--integrity", choices=["crc", "off"], default=None,
+                    help="payload integrity: 'crc' checksums every "
+                         "collective payload at send and verifies at "
+                         "receive (detected corruption fails the run "
+                         "typed, resumable from checkpoint); default "
+                         "$REPRO_INTEGRITY or 'off'; identical partitions "
+                         "either way")
     return parser
 
 
@@ -142,6 +170,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.simmpi.dataplane import RESULT_SHARING_ENV_VAR
 
         os.environ[RESULT_SHARING_ENV_VAR] = args.result_sharing
+    if args.watchdog_timeout is not None:
+        import os
+
+        from repro.ft.watchdog import WATCHDOG_ENV_VAR
+
+        # exported too, so a wrapper's --resume re-exec and any forked
+        # rank process see the same liveness policy
+        os.environ[WATCHDOG_ENV_VAR] = repr(args.watchdog_timeout)
+    if args.integrity:
+        import os
+
+        from repro.ft.integrity import INTEGRITY_ENV_VAR
+
+        os.environ[INTEGRITY_ENV_VAR] = args.integrity
     try:
         graph = _load_graph(args.graph)
     except Exception as exc:
@@ -186,10 +228,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             graph, args.parts, nprocs=args.ranks, params=params,
             distribution=args.distribution, backend=args.backend,
             checkpoint=checkpoint, resume=args.resume,
-            fault_plan=fault_plan,
+            fault_plan=fault_plan, watchdog=args.watchdog_timeout,
+            integrity=args.integrity,
         )
     except Exception as exc:
-        from repro.ft import CheckpointError
+        from repro.ft import CheckpointError, classify_failure
         from repro.simmpi.errors import RankFailure
 
         if isinstance(exc, CheckpointError):
@@ -199,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             if exc.run_dir is not None and exc.epoch is not None:
                 print(f"resume with: --resume {exc.run_dir}", file=sys.stderr)
+                if classify_failure(exc) == "hang":
+                    return EXIT_HUNG
                 return EXIT_FAILED_CKPT
             return EXIT_FAILED
         print(f"error: partitioning failed: {exc}", file=sys.stderr)

@@ -177,6 +177,8 @@ def xtrapulp(
     checkpoint: Union[None, str, os.PathLike, CkptPolicy] = None,
     resume: Union[None, str, os.PathLike] = None,
     fault_plan: Any = None,
+    watchdog: Any = None,
+    integrity: Optional[str] = None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``num_parts`` parts on ``nprocs`` simulated
     MPI ranks.
@@ -237,6 +239,20 @@ def xtrapulp(
         Optional :class:`~repro.ft.faults.FaultPlan` planting deterministic
         failures (testing/benchmarking; on the ``procs`` backend a ``die``
         fault hard-kills the rank's OS process mid-superstep).
+    watchdog:
+        Liveness deadline for the run — seconds, a
+        :class:`~repro.ft.watchdog.WatchdogConfig`, or None to honor
+        ``$REPRO_WATCHDOG_TIMEOUT`` (default: no watchdog, unbounded
+        waits).  A rank that makes no progress for that long is killed
+        (``procs``) or failed in place (in-process backends) and surfaces
+        as :class:`~repro.simmpi.errors.HungRankError` — which, combined
+        with ``checkpoint``, makes a hang recoverable exactly like a
+        crash.
+    integrity:
+        ``"crc"`` checksums every collective payload at send and verifies
+        at receive (detected corruption raises
+        :class:`~repro.simmpi.errors.PayloadCorruptionError`); ``"off"``
+        skips all checksum work; None honors ``$REPRO_INTEGRITY``.
     """
     if graph.directed:
         raise ValueError("xtrapulp partitions undirected (symmetric) graphs")
@@ -304,7 +320,8 @@ def xtrapulp(
     # model's gamma), so modeled times are exactly reproducible
     comm_spec = params.comm if params.comm is not None else default_comm()
     runtime = create_runtime(backend, nprocs=nprocs, meter_compute=False,
-                             comm=comm_spec)
+                             comm=comm_spec, watchdog=watchdog,
+                             integrity=integrity)
     if ft_requested and runtime.stats.rounds:
         runtime.close()
         raise ValueError(
@@ -359,6 +376,13 @@ def xtrapulp(
         spliced = CommStats(nprocs)
         spliced.events = list(base_events) + stats.events[n_skip:]
         spliced.recoveries = list(stats.recoveries)
+        # health counters describe the live engine, not the event record —
+        # carry them so a resumed run still reports its watchdog/integrity
+        # activity (they are excluded from the signature either way)
+        spliced.heartbeats_seen = stats.heartbeats_seen
+        spliced.deadline_extensions = stats.deadline_extensions
+        spliced.checksum_verifications = stats.checksum_verifications
+        spliced.checksum_failures = stats.checksum_failures
         stats = spliced
 
     return PartitionResult(

@@ -7,9 +7,17 @@ of MPI:
   partitioner state with an atomic epoch-commit protocol;
 - :mod:`repro.ft.faults` — deterministic, seeded fault injection planted at
   exact supersteps on every execution backend (raise / hard process death /
-  injected latency);
+  injected latency / payload corruption);
 - :mod:`repro.ft.recovery` — a supervisor that relaunches a failed run from
-  its last committed epoch with capped exponential backoff.
+  its last committed epoch with capped (optionally jittered) exponential
+  backoff, classifying each absorbed failure (hang / corruption / crash /
+  exception);
+- :mod:`repro.ft.watchdog` — active liveness detection: rank heartbeats,
+  per-collective deadlines with escalation, and supervisor-side kills of
+  hung rank processes;
+- :mod:`repro.ft.integrity` — end-to-end crc32 payload checksums, verified
+  at every receive when ``--integrity crc`` is selected, plus the
+  deterministic corruption primitives the ``corrupt`` fault uses.
 
 Headline guarantee (enforced by ``tests/ft/``): a run killed at any
 injected fault point and resumed from its checkpoint produces a
@@ -24,16 +32,39 @@ from repro.ft.checkpoint import (
     load_manifest,
 )
 from repro.ft.faults import FaultPlan, FaultSpec, parse_fault_spec
-from repro.ft.recovery import RetryPolicy, run_with_retries
+from repro.ft.integrity import (
+    INTEGRITY_ENV_VAR,
+    INTEGRITY_MODES,
+    checksum_obj,
+    default_integrity,
+    validate_integrity,
+)
+from repro.ft.recovery import RetryPolicy, classify_failure, run_with_retries
+from repro.ft.watchdog import (
+    WATCHDOG_ENV_VAR,
+    WatchdogConfig,
+    as_watchdog_config,
+    default_watchdog,
+)
 
 __all__ = [
     "CheckpointError",
     "CkptPolicy",
     "FaultPlan",
     "FaultSpec",
+    "INTEGRITY_ENV_VAR",
+    "INTEGRITY_MODES",
     "RetryPolicy",
+    "WATCHDOG_ENV_VAR",
+    "WatchdogConfig",
+    "as_watchdog_config",
+    "checksum_obj",
+    "classify_failure",
+    "default_integrity",
+    "default_watchdog",
     "find_latest_committed",
     "load_manifest",
     "parse_fault_spec",
     "run_with_retries",
+    "validate_integrity",
 ]

@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` plants failures at exact supersteps: "rank 2's third
 collective inside phase ``vertex_refine`` raises", or dies hard, or stalls
-for 50 ms.  The runtime consults the plan right before every collective
+for 50 ms, or ships a payload with one flipped byte (``corrupt`` — the
+integrity subsystem's detection oracle).  The runtime consults the plan right before every collective
 deposit — via :meth:`repro.simmpi.backends.base.Backend._fault_check` on the
 in-process backends, and inside ``_RankEndpoint.collective`` on the
 ``procs`` backend, where a ``die`` fault is a real ``os._exit`` of the rank
@@ -29,12 +30,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.simmpi.errors import InjectedFault
+from repro.simmpi.errors import HungRankError, InjectedFault
 
 #: Exit code used for hard process death, distinctive in supervisor output.
 DIE_EXIT_CODE = 86
 
-_ACTIONS = ("raise", "die", "delay")
+_ACTIONS = ("raise", "die", "delay", "corrupt")
 
 
 @dataclass(frozen=True)
@@ -57,7 +58,13 @@ class FaultSpec:
         (``procs`` backend) and downgrades to ``"raise"`` where they are
         not; ``"delay"`` sleeps ``delay`` seconds and lets the collective
         proceed — latency injection that must not change the metered
-        record.
+        record (under a watchdog deadline, a delay *past* the deadline
+        models an indefinite hang: on process backends the rank really
+        sleeps and the watchdog kills it, in-process the rank raises
+        :class:`~repro.simmpi.errors.HungRankError` once the deadline
+        passes instead of sleeping the run); ``"corrupt"`` deterministically
+        flips one byte of the rank's outgoing payload at that superstep —
+        detected (and only detected) when integrity checking is on.
     delay:
         Sleep duration for ``action="delay"``.
     attempt:
@@ -135,17 +142,25 @@ class FaultPlan:
     # -- runtime hook ------------------------------------------------------
 
     def check(self, rank: int, op: str, tag: str, *,
-              can_die: bool = False) -> None:
+              can_die: bool = False,
+              deadline: Optional[float] = None) -> Optional[FaultSpec]:
         """Fire any armed fault for this rank's next collective in ``tag``.
 
         Called by the backend with the deposit about to happen; ``op`` is
         unused for matching (specs address phases, not collective kinds)
         but kept in the signature for debuggability of raised faults.
+        ``deadline`` is the backend's watchdog timeout (None when no
+        watchdog is configured): it caps how long an injected ``delay``
+        may stall an in-process rank before the stall is surfaced as a
+        hang.  Returns the matched ``corrupt`` spec, if any, so the
+        backend can flip a byte of the outgoing payload *after* it is
+        checksummed; all other actions fire in place.
         """
         attempt = self.current_attempt
         key = (attempt, rank, tag)
         step = self._counts.get(key, 0)
         self._counts[key] = step + 1
+        corrupt: Optional[FaultSpec] = None
         for spec in self.specs:
             if spec.attempt != attempt or spec.rank != rank:
                 continue
@@ -153,15 +168,34 @@ class FaultPlan:
                 continue
             if spec.step != step:
                 continue
-            self._fire(spec, rank, op, tag, step, can_die)
+            fired = self._fire(spec, rank, op, tag, step, can_die, deadline)
+            if fired is not None and corrupt is None:
+                corrupt = fired
+        return corrupt
 
     def _fire(self, spec: FaultSpec, rank: int, op: str, tag: str,
-              step: int, can_die: bool) -> None:
+              step: int, can_die: bool,
+              deadline: Optional[float] = None) -> Optional[FaultSpec]:
         where = (f"rank {rank}, phase {tag!r}, superstep {step} "
                  f"(op {op!r}, attempt {spec.attempt})")
+        if spec.action == "corrupt":
+            return spec
         if spec.action == "delay":
+            if deadline is not None and spec.delay > deadline and not can_die:
+                # In-process backends cannot be killed from outside; model
+                # the watchdog by sleeping out the deadline, then raising
+                # instead of stalling the whole run for the full delay.
+                time.sleep(deadline)
+                raise HungRankError(
+                    f"injected {spec.delay:.3g}s delay at {where} exceeded "
+                    f"the {deadline:.3g}s watchdog deadline",
+                    ranks=(rank,), phase=tag, detection_seconds=deadline,
+                )
+            # On process backends (can_die) the rank really sleeps — a
+            # delay past the deadline is then an actual hang for the
+            # supervisor-side watchdog to detect and kill.
             time.sleep(spec.delay)
-            return
+            return None
         if spec.action == "die" and can_die:
             # Hard death of a real rank process: no unwinding, no error
             # announcement — the supervisor must notice the corpse.
@@ -170,14 +204,18 @@ class FaultPlan:
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
-    """Parse the CLI form ``RANK:PHASE:STEP[:ACTION]``.
+    """Parse the CLI form ``RANK:PHASE:STEP[:ACTION[:SECONDS]]``.
 
-    Examples: ``2:vertex_refine:5``, ``0:edge_balance:3:die``.
+    Examples: ``2:vertex_refine:5``, ``0:edge_balance:3:die``,
+    ``1:vertex_balance:4:corrupt``, ``1:vertex_refine:4:delay:30`` (a 30 s
+    stall — under ``--watchdog-timeout`` this models an indefinite hang).
+    Only ``delay`` takes the SECONDS argument.
     """
     parts = text.split(":")
-    if len(parts) not in (3, 4):
+    if len(parts) not in (3, 4, 5):
         raise ValueError(
-            f"--inject-fault expects RANK:PHASE:STEP[:ACTION], got {text!r}"
+            f"--inject-fault expects RANK:PHASE:STEP[:ACTION[:SECONDS]], "
+            f"got {text!r}"
         )
     try:
         rank = int(parts[0])
@@ -186,5 +224,19 @@ def parse_fault_spec(text: str) -> FaultSpec:
         raise ValueError(
             f"--inject-fault RANK and STEP must be integers, got {text!r}"
         ) from None
-    action = parts[3] if len(parts) == 4 else "raise"
-    return FaultSpec(rank=rank, phase=parts[1], step=step, action=action)
+    action = parts[3] if len(parts) > 3 else "raise"
+    delay = 0.0
+    if len(parts) == 5:
+        if action != "delay":
+            raise ValueError(
+                f"--inject-fault: only the delay action takes a SECONDS "
+                f"argument, got {text!r}"
+            )
+        try:
+            delay = float(parts[4])
+        except ValueError:
+            raise ValueError(
+                f"--inject-fault delay SECONDS must be a number, got {text!r}"
+            ) from None
+    return FaultSpec(rank=rank, phase=parts[1], step=step, action=action,
+                     delay=delay)

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.ft.checkpoint import find_latest_committed, load_manifest
-from repro.simmpi.errors import RankFailure
+from repro.simmpi.errors import (
+    HungRankError,
+    PayloadCorruptionError,
+    RankFailure,
+    RemoteRankError,
+)
 from repro.simmpi.metrics import RecoveryEvent
 
 
@@ -31,17 +36,72 @@ class RetryPolicy:
     """Relaunch budget and backoff shape.
 
     Backoff for attempt ``a`` (0-based count of prior failures) is
-    ``min(base * 2**a, cap)`` seconds.  ``sleep`` is injectable so tests
-    can assert the schedule without waiting it out.
+    ``min(base * 2**a, cap)`` seconds; with a ``jitter_seed`` it becomes
+    full jitter over the top half of that envelope,
+    ``min(base * 2**a, cap) * U[0.5, 1)`` — the AWS-style decorrelation
+    that keeps simultaneously-failed supervisors from relaunching in
+    lockstep, drawn from ``default_rng((jitter_seed, a))`` so the whole
+    schedule is reproducible from the seed.  ``sleep`` is injectable so
+    tests can assert the schedule without waiting it out.
     """
 
     max_retries: int = 3
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    jitter_seed: Optional[int] = None
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def backoff(self, attempt: int) -> float:
-        return min(self.backoff_base * (2.0 ** attempt), self.backoff_cap)
+        envelope = min(self.backoff_base * (2.0 ** attempt), self.backoff_cap)
+        if self.jitter_seed is None:
+            return envelope
+        import numpy as np
+
+        rng = np.random.default_rng((self.jitter_seed, attempt))
+        return envelope * float(rng.uniform(0.5, 1.0))
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Name the failure class of a rank failure's cause chain.
+
+    Walks ``__cause__``/``__context__`` looking for the most specific
+    typed failure: ``"hang"`` (watchdog kill / deadline-exceeded wait),
+    ``"corruption"`` (checksum mismatch), ``"crash"`` (a rank process
+    died or a peer observed the failure remotely), else ``"exception"``
+    (an ordinary error raised by rank code).
+    """
+    seen = set()
+    queue = [exc]
+    fallback = "exception"
+    while queue:
+        e = queue.pop(0)
+        if e is None or id(e) in seen:
+            continue
+        seen.add(id(e))
+        if isinstance(e, HungRankError):
+            return "hang"
+        if isinstance(e, PayloadCorruptionError):
+            return "corruption"
+        if isinstance(e, RemoteRankError):
+            fallback = "crash"
+        queue.extend((e.__cause__, e.__context__))
+    return fallback
+
+
+def _detection_seconds(exc: BaseException) -> float:
+    """Detection latency carried by the cause chain (0.0 if none)."""
+    seen = set()
+    queue = [exc]
+    while queue:
+        e = queue.pop(0)
+        if e is None or id(e) in seen:
+            continue
+        seen.add(id(e))
+        detected = getattr(e, "detection_seconds", 0.0)
+        if detected:
+            return float(detected)
+        queue.extend((e.__cause__, e.__context__))
+    return 0.0
 
 
 def run_with_retries(
@@ -97,6 +157,8 @@ def run_with_retries(
                 epoch=epoch,
                 error=repr(exc.__cause__ if exc.__cause__ is not None else exc),
                 backoff_seconds=backoff,
+                failure_class=classify_failure(exc),
+                detection_seconds=_detection_seconds(exc),
             ))
             policy.sleep(backoff)
             continue

@@ -70,9 +70,12 @@ from repro.simmpi.dataplane import (
 from repro.simmpi.errors import (
     CollectiveMismatchError,
     DeadlockError,
+    HungRankError,
+    PayloadCorruptionError,
     RemoteRankError,
     SimMPIError,
     UnpicklableRankError,
+    format_ranks,
 )
 from repro.simmpi.metrics import CommStats, CollectiveEvent, TierMetering
 from repro.simmpi.runtime import Runtime, run_spmd
@@ -133,6 +136,9 @@ __all__ = [
     "SimMPIError",
     "CollectiveMismatchError",
     "DeadlockError",
+    "HungRankError",
+    "PayloadCorruptionError",
     "RemoteRankError",
     "UnpicklableRankError",
+    "format_ranks",
 ]

@@ -39,7 +39,7 @@ ignore it (they have no wire to cross).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Type, Union
+from typing import Any, Dict, List, Optional, Type, Union
 
 from repro.simmpi.backends.base import Backend
 from repro.simmpi.backends.procs import ProcsBackend
@@ -82,6 +82,8 @@ def create_runtime(
     comm: Union[str, None, Communicator] = None,
     dataplane: Optional[str] = None,
     result_sharing: Optional[str] = None,
+    watchdog: Any = None,
+    integrity: Optional[str] = None,
 ) -> Backend:
     """Create an execution backend by name (chainermn-style factory).
 
@@ -116,12 +118,29 @@ def create_runtime(
         (serial/threads); the procs backend's results already cross
         process boundaries, so its rank endpoints pin the historical
         copy semantics either way.  See :mod:`repro.simmpi.dataplane`.
+    watchdog:
+        Liveness deadline — seconds (a number), a
+        :class:`~repro.ft.watchdog.WatchdogConfig`, or None to honor
+        ``$REPRO_WATCHDOG_TIMEOUT`` (unset/0 means no watchdog: every
+        wait is unbounded, the historical behavior).  A configured
+        watchdog kills/fails ranks that make no progress for that long
+        and surfaces them as
+        :class:`~repro.simmpi.errors.HungRankError`.
+    integrity:
+        Payload integrity mode (``"crc"`` checksums every payload and
+        verifies at receive; ``"off"`` skips all checksum work), or None
+        to honor ``$REPRO_INTEGRITY`` falling back to ``"off"``.
     """
+    from repro.ft.integrity import validate_integrity
+    from repro.ft.watchdog import as_watchdog_config
+
     if result_sharing is not None and result_sharing not in RESULT_SHARING_MODES:
         raise ValueError(
             f"unknown result-sharing mode {result_sharing!r}; "
             f"choices: {RESULT_SHARING_MODES}"
         )
+    if integrity is not None:
+        integrity = validate_integrity(integrity)
     if isinstance(backend, Backend):
         if backend.nprocs != nprocs:
             raise ValueError(
@@ -132,6 +151,10 @@ def create_runtime(
             backend.comm_strategy = create_communicator(comm, nprocs=nprocs)
         if result_sharing is not None:
             backend.result_sharing = result_sharing
+        if watchdog is not None:
+            backend.watchdog = as_watchdog_config(watchdog)
+        if integrity is not None:
+            backend.integrity = integrity
         return backend
     name = backend if backend is not None else default_backend()
     try:
@@ -153,6 +176,10 @@ def create_runtime(
     rt.comm_strategy = create_communicator(comm, nprocs=nprocs)
     if result_sharing is not None:
         rt.result_sharing = result_sharing
+    if watchdog is not None:
+        rt.watchdog = as_watchdog_config(watchdog)
+    if integrity is not None:
+        rt.integrity = integrity
     return rt
 
 

@@ -25,6 +25,7 @@ Concrete backends live next to this module and are selected by name via
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -38,7 +39,7 @@ class _Pending:
     """State of the collective currently being assembled (in-process)."""
 
     __slots__ = ("op", "tag", "contribs", "nbytes", "compute", "work",
-                 "tiers", "arrived", "results")
+                 "tiers", "arrived", "results", "deposited", "checksums")
 
     def __init__(self, nprocs: int, op: str, tag: str) -> None:
         self.op = op
@@ -52,6 +53,14 @@ class _Pending:
         self.tiers: List[Optional[tuple]] = [None] * nprocs
         self.arrived = 0
         self.results: Optional[List[Any]] = None
+        #: Which ranks have deposited (diagnostics: deadlock/mismatch
+        #: errors name the blocked ranks, not just their count).
+        self.deposited: List[bool] = [False] * nprocs
+        #: Per-rank contribution crc32s (integrity mode only, else None).
+        self.checksums: Optional[List[Optional[int]]] = None
+
+    def blocked_ranks(self) -> List[int]:
+        return [r for r, d in enumerate(self.deposited) if d]
 
 
 class Backend(ABC):
@@ -100,20 +109,40 @@ class Backend(ABC):
         #: and :mod:`repro.simmpi.comm`; set by
         #: :func:`repro.simmpi.backends.create_runtime`.
         self.result_sharing: Optional[str] = None
+        # deferred import: repro.ft sits above simmpi in the layering, but
+        # these two are leaf config modules (env parsing + dataclasses)
+        # with no backend dependency, so the cycle is only cosmetic
+        from repro.ft.integrity import default_integrity
+        from repro.ft.watchdog import default_watchdog
+
+        #: Liveness policy (:class:`repro.ft.watchdog.WatchdogConfig`) or
+        #: None for unbounded waits (historical behavior).  Resolved from
+        #: ``$REPRO_WATCHDOG_TIMEOUT`` at construction; overridable via
+        #: :func:`repro.simmpi.backends.create_runtime`.
+        self.watchdog = default_watchdog()
+        #: Payload integrity mode (``"crc"`` / ``"off"``), resolved from
+        #: ``$REPRO_INTEGRITY`` at construction; overridable via
+        #: :func:`repro.simmpi.backends.create_runtime`.  ``"crc"``
+        #: checksums every payload at send and verifies at receive.
+        self.integrity = default_integrity()
 
     # -- fault injection ---------------------------------------------------
 
     def _fault_check(self, rank: int, op: str, tag: str, *,
-                     can_die: bool = False) -> None:
+                     can_die: bool = False) -> Optional[Any]:
         """Give the fault plan a chance to fire before a deposit.
 
         ``can_die`` tells the plan whether hard process death is available
         (only the ``procs`` backend runs ranks in killable processes; the
-        in-process backends downgrade ``die`` to a raised fault).
+        in-process backends downgrade ``die`` to a raised fault).  The
+        watchdog deadline, if any, is forwarded so injected delays past it
+        surface as hangs.  Returns the matched ``corrupt`` spec (or None).
         """
         plan = self.fault_plan
-        if plan is not None:
-            plan.check(rank, op, tag, can_die=can_die)
+        if plan is None:
+            return None
+        deadline = self.watchdog.timeout if self.watchdog is not None else None
+        return plan.check(rank, op, tag, can_die=can_die, deadline=deadline)
 
     # -- rendezvous + collective compute -----------------------------------
 
@@ -137,8 +166,14 @@ class Backend(ABC):
         convention documented in :mod:`repro.simmpi.metrics`;
         ``tier_bytes`` is the strategy's optional ``(intra, inter,
         wire_intra, wire_inter)`` classification of that payload.
+
+        Under ``integrity == "crc"`` the contribution is checksummed here
+        (at "send time") and the checksum rides along to the rendezvous,
+        where the receiving side re-computes and compares before
+        ``execute`` runs — an injected ``corrupt`` fault flips a payload
+        byte *after* the checksum is taken, modeling in-flight damage.
         """
-        self._fault_check(rank, op, tag)
+        corrupt_spec = self._fault_check(rank, op, tag)
         if self.nprocs == 1:
             results = execute([contribution])
             # single-rank runs meter zero off-rank bytes, so there is no
@@ -148,9 +183,20 @@ class Backend(ABC):
                          np.array([compute_seconds]),
                          np.array([work_units]))
             return results[0]
+        checksum: Optional[int] = None
+        if self.integrity == "crc":
+            from repro.ft.integrity import checksum_obj
+
+            checksum = checksum_obj(contribution)
+        if corrupt_spec is not None:
+            from repro.ft.integrity import corrupt_object, corruption_seed
+
+            seed = corruption_seed(rank, corrupt_spec.step,
+                                   corrupt_spec.attempt)
+            corrupt_object(contribution, seed)
         return self._collective_parallel(
             rank, op, tag, contribution, nbytes_sent, execute,
-            compute_seconds, work_units, tier_bytes,
+            compute_seconds, work_units, tier_bytes, checksum=checksum,
         )
 
     def _collective_parallel(
@@ -164,11 +210,38 @@ class Backend(ABC):
         compute_seconds: float,
         work_units: float,
         tier_bytes: Optional[tuple] = None,
+        checksum: Optional[int] = None,
     ) -> Any:
         raise NotImplementedError(
             f"{type(self).__name__} does not execute collectives in the "
             "driver process; ranks use their own endpoints"
         )
+
+    def _verify_checksums(self, pending: _Pending) -> None:
+        """Re-checksum every deposited contribution against its send-time
+        crc just before the collective executes (in-process receive side).
+
+        Raises :class:`~repro.simmpi.errors.PayloadCorruptionError` naming
+        the damaged ranks; the caller is expected to ``_fail`` peers first
+        — this helper only detects and counts.
+        """
+        from repro.ft.integrity import checksum_obj
+        from repro.simmpi.errors import PayloadCorruptionError, format_ranks
+
+        assert pending.checksums is not None
+        self.stats.checksum_verifications += self.nprocs
+        bad = [r for r, crc in enumerate(pending.checksums)
+               if crc is not None
+               and checksum_obj(pending.contribs[r]) != crc]
+        if bad:
+            self.stats.checksum_failures += len(bad)
+            raise PayloadCorruptionError(
+                f"payload checksum mismatch for {format_ranks(bad)} in "
+                f"collective {pending.op!r} (tag {pending.tag!r}, "
+                f"superstep {self.stats.rounds})",
+                rank=bad[0],
+                location=f"{self.name} rendezvous",
+            )
 
     @staticmethod
     def _tier_matrix(tier_list: Sequence[Optional[tuple]]):
@@ -255,6 +328,38 @@ class Backend(ABC):
         kwargs: dict,
     ) -> List[Any]:
         """Run the SPMD program with ``nprocs >= 2`` ranks."""
+
+    def _join_bounded(self, threads: Sequence[Any]) -> List[int]:
+        """Join rank worker threads under the watchdog deadline.
+
+        ``threads[r]`` carries rank ``r``.  Unlike the procs supervisor,
+        an in-process backend cannot kill a wedged rank — the deadline
+        machinery instead guarantees that every *parked* rank self-detects
+        a stall (sliced waits) and fails the run; this join then gives the
+        remaining threads one ``timeout + grace`` window to unwind and
+        **abandons** any that do not (they were created as daemons when a
+        watchdog is configured, so interpreter exit is not held hostage).
+        Returns the ranks abandoned this way ([] normally).
+        """
+        wd = self.watchdog
+        assert wd is not None
+        slice_s = wd.slice_seconds()
+        alive = {r: t for r, t in enumerate(threads)}
+        abandon_at: Optional[float] = None
+        while alive:
+            for r, t in list(alive.items()):
+                t.join(timeout=slice_s)
+                if not t.is_alive():
+                    del alive[r]
+            if not alive:
+                break
+            if getattr(self, "_failure", None) is not None:
+                now = time.monotonic()
+                if abandon_at is None:
+                    abandon_at = now + wd.timeout + wd.grace
+                elif now >= abandon_at:
+                    return sorted(alive)
+        return []
 
     @staticmethod
     def _raise_collected(

@@ -67,21 +67,30 @@ import threading
 import time
 import traceback
 import uuid
+import zlib
 from multiprocessing import shared_memory, sharedctypes
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ft.watchdog import HeartbeatBoard, Watchdog, WatchdogConfig
 from repro.simmpi import dataplane
 from repro.simmpi.backends.base import Backend
 from repro.simmpi.errors import (
     CollectiveMismatchError,
     DeadlockError,
+    HungRankError,
+    PayloadCorruptionError,
     RemoteRankError,
     UnpicklableRankError,
+    format_ranks,
 )
 
-_HEADER = struct.Struct("<qq")  # (pickle length, buffer-spec length)
+# (pickle length, buffer-spec length, inlined-buffer length, crc32).  The
+# crc is over the whole written region (payload + spec + inlined buffers);
+# -1 means "no checksum" (integrity off), so the layout is shared by both
+# integrity modes and only the verification work is conditional.
+_HEADER = struct.Struct("<qqqq")
 _NAME_CAP = 120  # shm segment names are short ("simmpi...")
 
 
@@ -177,8 +186,14 @@ class _Slot:
 
     INITIAL = 1 << 16
 
-    def __init__(self, base: str) -> None:
+    def __init__(self, base: str, integrity: bool = False) -> None:
         self._base = base
+        self._integrity = integrity
+        #: Per-process counters of checksum verifications performed /
+        #: failed by reads of this slot (rank 0 ships its deltas through
+        #: the stats channel; the parent counts its own reads directly).
+        self.nchecks = 0
+        self.nfailures = 0
         seg = self._create(0, self.INITIAL)
         self._published = sharedctypes.RawArray("c", _NAME_CAP)
         self._publish(seg.name)
@@ -263,10 +278,9 @@ class _Slot:
                 entries.append(r.nbytes)
                 inline.append(r)
         spec = pickle.dumps(entries, protocol=5) if entries else b""
-        total = (_HEADER.size + len(payload) + len(spec)
-                 + sum(r.nbytes for r in inline))
+        inline_len = sum(r.nbytes for r in inline)
+        total = _HEADER.size + len(payload) + len(spec) + inline_len
         buf = self._ensure(total).buf
-        _HEADER.pack_into(buf, 0, len(payload), len(spec))
         off = _HEADER.size
         buf[off:off + len(payload)] = payload
         off += len(payload)
@@ -275,6 +289,10 @@ class _Slot:
         for r in inline:
             buf[off:off + r.nbytes] = r
             off += r.nbytes
+        # checksum the bytes as written to shared memory — the region a
+        # flip between this write and the peer's read would damage
+        crc = zlib.crc32(buf[_HEADER.size:off]) if self._integrity else -1
+        _HEADER.pack_into(buf, 0, len(payload), len(spec), inline_len, crc)
 
     def read(
         self, mode: str, cache: Optional[dataplane.SegmentCache] = None,
@@ -297,7 +315,20 @@ class _Slot:
           exit payloads after the children are gone).
         """
         buf = self._segment().buf
-        payload_len, spec_len = _HEADER.unpack_from(buf, 0)
+        payload_len, spec_len, inline_len, crc = _HEADER.unpack_from(buf, 0)
+        if crc != -1:
+            # verify before any deserialization: a flipped byte must raise
+            # the typed corruption error, never a garbled UnpicklingError
+            region = _HEADER.size + payload_len + spec_len + inline_len
+            self.nchecks += 1
+            actual = zlib.crc32(buf[_HEADER.size:region])
+            if actual != crc:
+                self.nfailures += 1
+                raise PayloadCorruptionError(
+                    f"slot checksum mismatch (expected {crc:#010x}, got "
+                    f"{actual:#010x}) reading {self._base!r}",
+                    location=f"slot {self._base!r}",
+                )
         off = _HEADER.size
         payload = bytes(buf[off:off + payload_len])
         off += payload_len
@@ -311,6 +342,17 @@ class _Slot:
             if isinstance(e, dataplane.ShmSpec):
                 assert cache is not None, "descriptor read needs a cache"
                 view = cache.view(e)
+                if e.crc != -1:
+                    self.nchecks += 1
+                    actual = zlib.crc32(view)
+                    if actual != e.crc:
+                        self.nfailures += 1
+                        raise PayloadCorruptionError(
+                            f"arena descriptor checksum mismatch (expected "
+                            f"{e.crc:#010x}, got {actual:#010x}) for "
+                            f"{e.nbytes} bytes in segment {e.name!r}",
+                            location=f"descriptor {e.name!r}+{e.offset}",
+                        )
                 if mode == "own":
                     buffers.append(bytearray(view))
                 else:
@@ -326,6 +368,25 @@ class _Slot:
                 buffers.append(window if mode == "borrow"
                                else bytearray(window))
         return pickle.loads(payload, buffers=buffers), leases
+
+    def corrupt(self, seed: int) -> bool:
+        """Flip one byte of the last written message (fault injection).
+
+        Targets the inlined-buffer region when there is one (numeric data —
+        the silent-corruption case crc exists to catch) and the pickle
+        region otherwise.  Runs *after* :meth:`write` sealed the header
+        crc, so the flip models damage in flight.
+        """
+        buf = self._segment().buf
+        payload_len, spec_len, inline_len, _ = _HEADER.unpack_from(buf, 0)
+        if inline_len > 0:
+            start, length = _HEADER.size + payload_len + spec_len, inline_len
+        else:
+            start, length = _HEADER.size, payload_len + spec_len
+        if length <= 0:
+            return False
+        buf[start + seed % length] ^= 0xFF
+        return True
 
     def close(self) -> None:
         """Drop this process's mapping (never destroys the segment)."""
@@ -353,17 +414,27 @@ class _Session:
     """Per-run shared state: slots, barrier, failure cell, stats channel,
     and the data plane's release cursors."""
 
-    def __init__(self, ctx, nprocs: int, plane: str) -> None:
+    def __init__(self, ctx, nprocs: int, plane: str,
+                 integrity: bool = False,
+                 watchdog: Optional[WatchdogConfig] = None) -> None:
         self.nprocs = nprocs
         self.dataplane = plane
+        self.integrity = integrity
+        self.watchdog = watchdog
         self.shm_prefix = _session_prefix()
         self.barrier = ctx.Barrier(nprocs)
         self.fail_flag = sharedctypes.RawValue("i", 0)
-        self.request = [_Slot(f"{self.shm_prefix}req{r}")
+        self.request = [_Slot(f"{self.shm_prefix}req{r}", integrity)
                         for r in range(nprocs)]
-        self.response = [_Slot(f"{self.shm_prefix}rsp{r}")
+        self.response = [_Slot(f"{self.shm_prefix}rsp{r}", integrity)
                          for r in range(nprocs)]
-        self.failure = _Slot(f"{self.shm_prefix}fail")
+        self.failure = _Slot(f"{self.shm_prefix}fail", integrity)
+        #: Fork-shared liveness board: each rank beats (superstep, phase,
+        #: clock) before every rendezvous; the supervisor-side Watchdog
+        #: polls it.  Allocated unconditionally (three tiny RawArrays) so
+        #: the session shape does not depend on the watchdog setting, but
+        #: ranks only beat when a watchdog is configured.
+        self.heartbeats = HeartbeatBoard(nprocs)
         #: per-rank release cursors: the highest superstep whose zero-copy
         #: result views that rank has fully dropped.  Rank 0 recycles a
         #: result-arena segment only when min(cursors) has passed its last
@@ -422,15 +493,22 @@ class _RankEndpoint:
         #: exactly as it does off the in-process backends.
         self.comm_strategy = comm_strategy
         self._step = 0
+        self._watchdog = session.watchdog
+        self._barrier_timeout = (
+            session.watchdog.rank_barrier_timeout()
+            if session.watchdog is not None else None
+        )
         shm_plane = session.dataplane == "shm"
         self._shm_plane = shm_plane
         self._cache = dataplane.SegmentCache()
         self._send_arena = (
-            dataplane.SendArena(f"{session.shm_prefix}dps{rank}")
+            dataplane.SendArena(f"{session.shm_prefix}dps{rank}",
+                                integrity=session.integrity)
             if shm_plane else None
         )
         self._result_arena = (
-            dataplane.ResultArena(f"{session.shm_prefix}dpr")
+            dataplane.ResultArena(f"{session.shm_prefix}dpr",
+                                  integrity=session.integrity)
             if shm_plane and rank == 0 else None
         )
         self._ledger = dataplane.ViewLedger() if shm_plane else None
@@ -448,15 +526,28 @@ class _RankEndpoint:
         work_units: float = 0.0,
         tier_bytes: Any = None,
     ) -> Any:
+        corrupt_spec = None
         if self._fault_plan is not None:
             # can_die=True: ranks are real processes here, so a "die" fault
-            # is an actual os._exit mid-superstep, not a raised exception.
-            self._fault_plan.check(self.rank, op, tag, can_die=True)
+            # is an actual os._exit mid-superstep, and a long "delay" is a
+            # real stall for the supervisor-side watchdog to detect.
+            corrupt_spec = self._fault_plan.check(
+                self.rank, op, tag, can_die=True,
+                deadline=(self._watchdog.timeout
+                          if self._watchdog is not None else None),
+            )
         if tier_bytes is not None:
             tier_bytes = tuple(int(t) for t in tier_bytes)
         action = ("coll", op, tag, int(nbytes_sent), float(compute_seconds),
                   float(work_units), contribution, tier_bytes)
-        kind, value = self._superstep(action, execute)
+        corrupt_seed = None
+        if corrupt_spec is not None:
+            from repro.ft.integrity import corruption_seed
+
+            corrupt_seed = corruption_seed(self.rank, corrupt_spec.step,
+                                           corrupt_spec.attempt)
+        kind, value = self._superstep(action, execute,
+                                      corrupt_seed=corrupt_seed)
         assert kind == "result"
         return value
 
@@ -478,20 +569,33 @@ class _RankEndpoint:
 
     def _barrier(self) -> None:
         try:
-            self._session.barrier.wait()
+            # The child-side timeout is a last-ditch escape hatch only (the
+            # watchdog kills hung peers first, which breaks the barrier and
+            # wakes everyone); see WatchdogConfig.rank_barrier_timeout.
+            self._session.barrier.wait(timeout=self._barrier_timeout)
         except threading.BrokenBarrierError:
             raise RemoteRankError(
                 f"rank {self.rank}: barrier broken (a peer process died)"
             ) from None
 
-    def _superstep(self, action: tuple, execute: Optional[Callable]) -> tuple:
+    def _superstep(self, action: tuple, execute: Optional[Callable],
+                   corrupt_seed: Optional[int] = None) -> tuple:
         sess = self._session
         step = self._step
         if self._ledger is not None:
             # publish before the barrier so rank 0 reads it after: "every
             # view of supersteps <= cursor is dead on this rank"
             sess.release_cursors[self.rank] = self._ledger.released(step)
+        if self._watchdog is not None:
+            phase = action[2] if action[0] == "coll" else action[0]
+            sess.heartbeats.beat(self.rank, step, phase)
         sess.request[self.rank].write(action, arena=self._send_arena)
+        if corrupt_seed is not None:
+            # in-flight corruption: flip one byte after the checksum (if
+            # any) was sealed — arena payload first, slot region otherwise
+            if (self._send_arena is None
+                    or not self._send_arena.corrupt(corrupt_seed)):
+                sess.request[self.rank].corrupt(corrupt_seed)
         self._barrier()
         if self.rank == 0:
             try:
@@ -514,13 +618,28 @@ class _RankEndpoint:
         return obj
 
     def _compute(self, execute: Optional[Callable]) -> None:
-        """Designated-computer step (rank 0, between the two barriers)."""
+        """Designated-computer step (rank 0, between the two barriers).
+
+        Any failure here — including a checksum mismatch raised while
+        *reading* a request slot — must land in the session failure cell,
+        never escape: the closing barrier in :meth:`_superstep` releases
+        the peers unconditionally, and they expect either a response or
+        ``fail_flag``.
+        """
         sess = self._session
         if sess.fail_flag.value:
             return  # a previous superstep already failed
+        try:
+            self._compute_inner(execute)
+        except BaseException as exc:
+            sess.set_failure(_sanitize_exc(exc))
+
+    def _compute_inner(self, execute: Optional[Callable]) -> None:
+        sess = self._session
         arena = self._result_arena
         if arena is not None:
             arena.begin_step(self._step, min(sess.release_cursors))
+        nchecks0 = sum(s.nchecks for s in sess.request)
         # "borrow": zero-copy contribution views, valid only inside this
         # superstep — every reference is a local dropped on return, before
         # the closing barrier lets the owning ranks overwrite their arenas
@@ -535,17 +654,23 @@ class _RankEndpoint:
                 sess.response[r].write(("all_done", None))
             return
         if "done" in kinds:
+            stuck = [r for r, k in enumerate(kinds) if k == "coll"]
             n_done = kinds.count("done")
             op = next(a[1] for a in actions if a[0] == "coll")
             sess.set_failure(DeadlockError(
-                f"{self.nprocs - n_done} rank(s) stuck in collective "
-                f"{op!r} after {n_done} rank(s) returned"
+                f"{len(stuck)} rank(s) ({format_ranks(stuck)}) stuck in "
+                f"collective {op!r} at superstep {self._step} after "
+                f"{n_done} rank(s) returned"
             ))
             return
         ops = sorted({a[1] for a in actions})
         if len(ops) != 1:
+            per_rank = ", ".join(
+                f"rank {r}: {a[1]!r}" for r, a in enumerate(actions)
+            )
             sess.set_failure(CollectiveMismatchError(
-                f"ranks disagree on the collective for one superstep: {ops}"
+                f"ranks disagree on the collective at superstep "
+                f"{self._step}: {per_rank}"
             ))
             return
         contribs = [a[6] for a in actions]
@@ -567,6 +692,7 @@ class _RankEndpoint:
             np.array([a[4] for a in actions], dtype=np.float64),
             np.array([a[5] for a in actions], dtype=np.float64),
             tiers,
+            sum(s.nchecks for s in sess.request) - nchecks0,
         ))
         for r, res in enumerate(results):
             sess.response[r].write(("result", res), arena=arena)
@@ -662,8 +788,11 @@ class ProcsBackend(Backend):
         rank_args: Optional[Sequence[Sequence[Any]]],
         kwargs: dict,
     ) -> List[Any]:
-        session = _Session(self._ctx, self.nprocs, self.dataplane)
+        session = _Session(self._ctx, self.nprocs, self.dataplane,
+                           integrity=self.integrity == "crc",
+                           watchdog=self.watchdog)
         self.last_shm_prefix = session.shm_prefix
+        watchdog: Optional[Watchdog] = None
         try:
             procs = [
                 self._ctx.Process(
@@ -677,11 +806,18 @@ class ProcsBackend(Backend):
             ]
             for p in procs:
                 p.start()
+            if self.watchdog is not None:
+                watchdog = Watchdog(self.watchdog, session.heartbeats, procs)
+                watchdog.start()
             self._supervise(session, procs)
             for p in procs:
                 p.join()
-            return self._collect(session, procs)
+            return self._collect(session, procs, watchdog)
         finally:
+            if watchdog is not None:
+                watchdog.stop()
+                self.stats.heartbeats_seen += watchdog.heartbeats_seen
+                self.stats.deadline_extensions += watchdog.deadline_extensions
             self.last_shm_reclaimed = session.teardown()
 
     def _supervise(self, session: _Session, procs: list) -> None:
@@ -698,9 +834,10 @@ class ProcsBackend(Backend):
         while True:
             drained = False
             while not session.stats_queue.empty():
-                _step, op, tag, nbytes, compute, work, tiers = \
+                _step, op, tag, nbytes, compute, work, tiers, nchecks = \
                     session.stats_queue.get()
                 self._record(op, tag, nbytes, compute, work, tiers=tiers)
+                self.stats.checksum_verifications += nchecks
                 drained = True
             if not any(p.is_alive() for p in procs):
                 break
@@ -712,20 +849,39 @@ class ProcsBackend(Backend):
             if not drained:
                 time.sleep(0.001)
         while not session.stats_queue.empty():
-            _step, op, tag, nbytes, compute, work, tiers = \
+            _step, op, tag, nbytes, compute, work, tiers, nchecks = \
                 session.stats_queue.get()
             self._record(op, tag, nbytes, compute, work, tiers=tiers)
+            self.stats.checksum_verifications += nchecks
 
-    def _collect(self, session: _Session, procs: list) -> List[Any]:
+    def _collect(self, session: _Session, procs: list,
+                 watchdog: Optional[Watchdog] = None) -> List[Any]:
         results: List[Any] = [None] * self.nprocs
         errors: List[Optional[BaseException]] = [None] * self.nprocs
+        killed = tuple(watchdog.killed) if watchdog is not None else ()
         cache = dataplane.SegmentCache()
         try:
             for r in range(self.nprocs):
+                if r in killed:
+                    # watchdog kill: typed as a hang, not a generic remote
+                    # death, so the recovery supervisor can classify it
+                    errors[r] = HungRankError(
+                        f"rank {r} made no progress for "
+                        f"{watchdog.detection_seconds:.3g}s (deadline "
+                        f"{watchdog.config.timeout:.3g}s) in phase "
+                        f"{watchdog.killed_phase!r}; killed by the watchdog",
+                        ranks=killed,
+                        phase=watchdog.killed_phase,
+                        detection_seconds=watchdog.detection_seconds,
+                    )
+                    continue
                 outcome: Any = None
                 if procs[r].exitcode == 0:
                     try:
                         outcome, _ = session.request[r].read("own", cache)
+                    except PayloadCorruptionError as exc:
+                        errors[r] = exc
+                        continue
                     except Exception:
                         outcome = None
                 if not (isinstance(outcome, tuple) and len(outcome) == 2
@@ -738,7 +894,17 @@ class ProcsBackend(Backend):
                     errors[r] = outcome[1]
                 else:
                     results[r] = outcome[1]
-            self._raise_collected(errors, session.get_failure(cache))
+            failure = session.get_failure(cache)
+            # the parent's own slot reads above verified checksums too
+            self.stats.checksum_verifications += (
+                sum(s.nchecks for s in session.request)
+                + session.failure.nchecks
+            )
+            self.stats.checksum_failures += sum(
+                1 for e in (*errors, failure)
+                if isinstance(e, PayloadCorruptionError)
+            )
+            self._raise_collected(errors, failure)
         finally:
             cache.close()
         return results

@@ -39,6 +39,7 @@ releases the others with :class:`~repro.simmpi.errors.RemoteRankError`.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
@@ -47,7 +48,9 @@ from repro.simmpi.backends.base import Backend, _Pending
 from repro.simmpi.errors import (
     CollectiveMismatchError,
     DeadlockError,
+    HungRankError,
     RemoteRankError,
+    format_ranks,
 )
 
 
@@ -64,6 +67,9 @@ class SerialBackend(Backend):
         self._n_finished = 0
         self._pending: Optional[_Pending] = None
         self._failure: Optional[BaseException] = None
+        #: Rank most recently handed the baton — the one actually running,
+        #: so a deadline-tripped parked rank can blame the true laggard.
+        self._baton_holder: Optional[int] = None
 
     # -- the baton ---------------------------------------------------------
 
@@ -77,21 +83,61 @@ class SerialBackend(Backend):
         # No runnable rank left.  If some ranks are still parked inside an
         # unfinished collective, nobody can ever complete it.
         if self._pending is not None and self._failure is None:
+            pending = self._pending
             self._fail(DeadlockError(
-                f"{self._pending.arrived} rank(s) parked in collective "
-                f"{self._pending.op!r} with no runnable rank left"
+                f"{pending.arrived} rank(s) "
+                f"({format_ranks(pending.blocked_ranks())}) parked in "
+                f"collective {pending.op!r} (tag {pending.tag!r}, "
+                f"superstep {self.stats.rounds}) with no runnable rank left"
             ))
 
     def _release_baton(self, rank: int) -> None:
         """Wake ``rank`` (idempotent, like the Event.set it replaced: a
         baton released twice before the owner re-parks must not raise)."""
+        self._baton_holder = rank
         try:
             self._batons[rank].release()
         except RuntimeError:
             pass  # already released — the wake is already in flight
 
     def _wait_baton(self, rank: int) -> None:
-        self._batons[rank].acquire()
+        wd = self.watchdog
+        if wd is None:
+            self._batons[rank].acquire()
+            return
+        # Deadline-bounded park: slice the acquire so a stalled schedule
+        # (e.g. the baton holder wedged outside any fault hook) surfaces as
+        # HungRankError after the timeout instead of blocking forever.  The
+        # wait spans a full scheduling round by design — see the deadline
+        # semantics note in repro.ft.watchdog.
+        slice_s = wd.slice_seconds()
+        warn_at = wd.timeout * wd.warn_fraction
+        start = time.monotonic()
+        extensions = 0
+        while not self._batons[rank].acquire(timeout=slice_s):
+            waited = time.monotonic() - start
+            if waited >= warn_at and extensions < wd.probes:
+                extensions += 1
+                self.stats.deadline_extensions += 1
+            if waited < wd.timeout:
+                continue
+            pending = self._pending
+            # blame the rank actually holding the baton — it is the one
+            # that stopped advancing; this rank is merely parked behind it
+            holder = self._baton_holder
+            stalled = (holder,) if holder is not None and holder != rank \
+                else (rank,)
+            exc = HungRankError(
+                f"{format_ranks(stalled)} held the scheduling baton for "
+                f"{waited:.3g}s without progress (deadline "
+                f"{wd.timeout:.3g}s) at superstep {self.stats.rounds}; "
+                f"rank {rank} gave up waiting",
+                ranks=stalled,
+                phase=pending.tag if pending is not None else "",
+                detection_seconds=waited,
+            )
+            self._fail(exc)
+            raise exc
 
     def _fail(self, exc: BaseException) -> None:
         """Record the first failure and wake every parked rank."""
@@ -119,9 +165,7 @@ class SerialBackend(Backend):
         # short-circuit, delegate to _collective_parallel) is folded into
         # the deposit path: one Python frame per deposit is measurable at
         # thousands of ranks.
-        plan = self.fault_plan
-        if plan is not None:
-            plan.check(rank, op, tag, can_die=False)
+        corrupt_spec = self._fault_check(rank, op, tag)
         if self.nprocs == 1:
             results = execute([contribution])
             self._record(op, tag,
@@ -129,12 +173,25 @@ class SerialBackend(Backend):
                          np.array([compute_seconds]),
                          np.array([work_units]))
             return results[0]
+        checksum: Optional[int] = None
+        if self.integrity == "crc" or corrupt_spec is not None:
+            from repro.ft import integrity as _integrity
+
+            if self.integrity == "crc":
+                checksum = _integrity.checksum_obj(contribution)
+            if corrupt_spec is not None:
+                _integrity.corrupt_object(
+                    contribution,
+                    _integrity.corruption_seed(rank, corrupt_spec.step,
+                                               corrupt_spec.attempt),
+                )
         if self._failure is not None:
             raise RemoteRankError(f"rank {rank}: aborted") from self._failure
         if self._n_finished > 0:
             exc = DeadlockError(
-                f"rank {rank} entered collective {op!r} but "
-                f"{self._n_finished} rank(s) already returned"
+                f"rank {rank} entered collective {op!r} (tag {tag!r}, "
+                f"superstep {self.stats.rounds}) but {self._n_finished} "
+                f"rank(s) already returned"
             )
             self._fail(exc)
             raise exc
@@ -144,8 +201,10 @@ class SerialBackend(Backend):
         pending = self._pending
         if pending.op != op:
             exc = CollectiveMismatchError(
-                f"rank {rank} called {op!r} while rank(s) already in "
-                f"{pending.op!r} (tag {pending.tag!r})"
+                f"rank {rank} called {op!r} (tag {tag!r}) while "
+                f"{format_ranks(pending.blocked_ranks())} already in "
+                f"{pending.op!r} (tag {pending.tag!r}, "
+                f"superstep {self.stats.rounds})"
             )
             self._fail(exc)
             raise exc
@@ -156,10 +215,17 @@ class SerialBackend(Backend):
         pending.work[rank] = work_units
         pending.tiers[rank] = tier_bytes
         pending.arrived += 1
+        pending.deposited[rank] = True
+        if checksum is not None:
+            if pending.checksums is None:
+                pending.checksums = [None] * self.nprocs
+            pending.checksums[rank] = checksum
         self._in_collective[rank] = True
 
         if pending.arrived == self.nprocs:
             try:
+                if pending.checksums is not None:
+                    self._verify_checksums(pending)
                 pending.results = execute(pending.contribs)
             except BaseException as exc:  # propagate to all ranks
                 self._fail(exc)
@@ -196,6 +262,7 @@ class SerialBackend(Backend):
         compute_seconds: float,
         work_units: float,
         tier_bytes: Optional[tuple] = None,
+        checksum: Optional[int] = None,
     ) -> Any:
         """Interface-compat shim: the deposit body lives in
         :meth:`collective` (the base dispatch is folded in)."""
@@ -251,22 +318,37 @@ class SerialBackend(Backend):
                     and pending.arrived < n
                 ):
                     self._fail(DeadlockError(
-                        f"{pending.arrived} rank(s) stuck in collective "
-                        f"{pending.op!r} after other ranks returned"
+                        f"{pending.arrived} rank(s) "
+                        f"({format_ranks(pending.blocked_ranks())}) stuck "
+                        f"in collective {pending.op!r} (tag {pending.tag!r}, "
+                        f"superstep {self.stats.rounds}) after other ranks "
+                        f"returned"
                     ))
                 else:
                     self._pass_baton(rank)
 
         threads = [
             threading.Thread(target=worker, args=(r,),
-                             name=f"simmpi-serial-rank-{r}")
+                             name=f"simmpi-serial-rank-{r}",
+                             daemon=self.watchdog is not None)
             for r in range(n)
         ]
         for t in threads:
             t.start()
         self._release_baton(0)  # rank 0 opens the round-robin
-        for t in threads:
-            t.join()
+        if self.watchdog is None:
+            for t in threads:
+                t.join()
+        else:
+            for r in self._join_bounded(threads):
+                if errors[r] is None:
+                    errors[r] = HungRankError(
+                        f"rank {r} never returned after the run failed; "
+                        f"thread abandoned past the "
+                        f"{self.watchdog.timeout:.3g}s deadline",
+                        ranks=(r,),
+                        detection_seconds=self.watchdog.timeout,
+                    )
 
         self._raise_collected(errors, self._failure)
         return results

@@ -27,13 +27,16 @@ Misuse that would hang or corrupt a real MPI job is turned into errors:
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.simmpi.backends.base import Backend, _Pending
 from repro.simmpi.errors import (
     CollectiveMismatchError,
     DeadlockError,
+    HungRankError,
     RemoteRankError,
+    format_ranks,
 )
 
 
@@ -72,14 +75,16 @@ class ThreadsBackend(Backend):
         compute_seconds: float,
         work_units: float,
         tier_bytes: Optional[tuple] = None,
+        checksum: Optional[int] = None,
     ) -> Any:
         with self._cond:
             if self._failure is not None:
                 raise RemoteRankError(f"rank {rank}: aborted") from self._failure
             if self._n_finished > 0:
                 exc = DeadlockError(
-                    f"rank {rank} entered collective {op!r} but "
-                    f"{self._n_finished} rank(s) already returned"
+                    f"rank {rank} entered collective {op!r} (tag {tag!r}, "
+                    f"superstep {self.stats.rounds}) but {self._n_finished} "
+                    f"rank(s) already returned"
                 )
                 self._fail(exc)
                 raise exc
@@ -89,8 +94,10 @@ class ThreadsBackend(Backend):
             pending = self._pending
             if pending.op != op:
                 exc = CollectiveMismatchError(
-                    f"rank {rank} called {op!r} while rank(s) already in "
-                    f"{pending.op!r} (tag {pending.tag!r})"
+                    f"rank {rank} called {op!r} (tag {tag!r}) while "
+                    f"{format_ranks(pending.blocked_ranks())} already in "
+                    f"{pending.op!r} (tag {pending.tag!r}, "
+                    f"superstep {self.stats.rounds})"
                 )
                 self._fail(exc)
                 raise exc
@@ -101,10 +108,17 @@ class ThreadsBackend(Backend):
             pending.work[rank] = work_units
             pending.tiers[rank] = tier_bytes
             pending.arrived += 1
+            pending.deposited[rank] = True
+            if checksum is not None:
+                if pending.checksums is None:
+                    pending.checksums = [None] * self.nprocs
+                pending.checksums[rank] = checksum
             my_generation = self._generation
 
             if pending.arrived == self.nprocs:
                 try:
+                    if pending.checksums is not None:
+                        self._verify_checksums(pending)
                     pending.results = execute(pending.contribs)
                 except BaseException as exc:  # propagate to all ranks
                     self._fail(exc)
@@ -117,8 +131,45 @@ class ThreadsBackend(Backend):
                 self._cond.notify_all()
                 return pending.results[rank]
 
-            while self._generation == my_generation and self._failure is None:
-                self._cond.wait()
+            wd = self.watchdog
+            if wd is None:
+                while (self._generation == my_generation
+                       and self._failure is None):
+                    self._cond.wait()
+            else:
+                # Deadline-bounded rendezvous: slice the wait so a stalled
+                # peer (e.g. wedged outside any fault hook) surfaces as
+                # HungRankError instead of blocking this rank forever.
+                slice_s = wd.slice_seconds()
+                warn_at = wd.timeout * wd.warn_fraction
+                start = time.monotonic()
+                extensions = 0
+                while (self._generation == my_generation
+                       and self._failure is None):
+                    if self._cond.wait(timeout=slice_s):
+                        continue
+                    waited = time.monotonic() - start
+                    if waited >= warn_at and extensions < wd.probes:
+                        extensions += 1
+                        self.stats.deadline_extensions += 1
+                    if waited < wd.timeout:
+                        continue
+                    # blame the ranks that never reached the rendezvous —
+                    # this rank deposited and is merely the one noticing
+                    stalled = tuple(
+                        r for r, d in enumerate(pending.deposited) if not d
+                    ) or (rank,)
+                    exc = HungRankError(
+                        f"{format_ranks(stalled)} made no progress for "
+                        f"{waited:.3g}s (deadline {wd.timeout:.3g}s): "
+                        f"missing from collective {op!r} (tag {tag!r}, "
+                        f"superstep {self.stats.rounds}) with "
+                        f"{format_ranks(pending.blocked_ranks())} deposited "
+                        f"and waiting",
+                        ranks=stalled, phase=tag, detection_seconds=waited,
+                    )
+                    self._fail(exc)
+                    raise exc
             if self._failure is not None:
                 raise RemoteRankError(f"rank {rank}: aborted") from self._failure
             assert pending.results is not None
@@ -164,19 +215,35 @@ class ThreadsBackend(Backend):
                     ):
                         self._fail(
                             DeadlockError(
-                                f"{pending.arrived} rank(s) stuck in collective "
-                                f"{pending.op!r} after other ranks returned"
+                                f"{pending.arrived} rank(s) "
+                                f"({format_ranks(pending.blocked_ranks())}) "
+                                f"stuck in collective {pending.op!r} "
+                                f"(tag {pending.tag!r}, superstep "
+                                f"{self.stats.rounds}) after other ranks "
+                                f"returned"
                             )
                         )
 
         threads = [
-            threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}")
+            threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}",
+                             daemon=self.watchdog is not None)
             for r in range(self.nprocs)
         ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
+        if self.watchdog is None:
+            for t in threads:
+                t.join()
+        else:
+            for r in self._join_bounded(threads):
+                if errors[r] is None:
+                    errors[r] = HungRankError(
+                        f"rank {r} never returned after the run failed; "
+                        f"thread abandoned past the "
+                        f"{self.watchdog.timeout:.3g}s deadline",
+                        ranks=(r,),
+                        detection_seconds=self.watchdog.timeout,
+                    )
 
         self._raise_collected(errors, self._failure)
         return results

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import os
 import weakref
+import zlib
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
@@ -97,11 +98,16 @@ class ShmSpec(NamedTuple):
 
     ``pickle`` stores dtype/shape/order in-band, so raw bytes plus a
     segment window reconstruct the exact NumPy array on the far side.
+    ``crc`` carries the crc32 of the window's bytes at place time when
+    integrity checking is on (``-1`` when off): receivers re-hash the
+    window at view time, so corruption anywhere between the arena write
+    and the read raises instead of leaking into results.
     """
 
     segment: str
     offset: int
     nbytes: int
+    crc: int = -1
 
 
 def _pow2_at_least(n: int) -> int:
@@ -217,11 +223,12 @@ class SendArena:
     superstep.
     """
 
-    def __init__(self, base: str) -> None:
+    def __init__(self, base: str, integrity: bool = False) -> None:
         self._base = base
         self._gen = 0
         self._seg: Optional[shared_memory.SharedMemory] = None
         self._cursor = 0
+        self._integrity = integrity
 
     def begin_write(self, total_nbytes: int) -> None:
         """Reset the bump pointer; ensure capacity for one slot write."""
@@ -250,10 +257,25 @@ class SendArena:
         assert self._seg is not None, "begin_write() sizes the arena first"
         off = -self._cursor % _ALIGN + self._cursor
         n = raw.nbytes
-        self._seg.buf[off:off + n] = raw.cast("B") if raw.ndim != 1 or \
-            raw.format != "B" else raw
+        flat = raw.cast("B") if raw.ndim != 1 or raw.format != "B" else raw
+        self._seg.buf[off:off + n] = flat
         self._cursor = off + n
-        return ShmSpec(self._seg.name, off, n)
+        crc = zlib.crc32(flat) if self._integrity else -1
+        return ShmSpec(self._seg.name, off, n, crc)
+
+    def corrupt(self, seed: int) -> bool:
+        """Flip one byte of this write's placed bytes (fault injection).
+
+        Called *after* the slot write published the descriptors, so their
+        crcs describe the uncorrupted bytes — exactly the transport-level
+        flip integrity checking exists to catch.  Returns False when the
+        current write placed nothing (all payloads were inlined).
+        """
+        if self._seg is None or self._cursor == 0:
+            return False
+        idx = seed % self._cursor
+        self._seg.buf[idx] ^= 0xFF
+        return True
 
     def close(self) -> None:
         if self._seg is not None:
@@ -285,16 +307,20 @@ class ResultArena:
     teardown sweep reclaims all of them by name prefix.
     """
 
-    def __init__(self, base: str) -> None:
+    def __init__(self, base: str, integrity: bool = False) -> None:
         self._base = base
         self._gen = 0
         self._segments: List[_ResultSegment] = []
         self._current: Optional[_ResultSegment] = None
         self._step = 0
         self._min_released = -1
+        self._integrity = integrity
         #: address -> spec of blocks handed out by :meth:`alloc_array`
         #: this step (zero-copy detection for arena-resident results).
         self._own: Dict[int, ShmSpec] = {}
+        #: address -> crc32 of an own block's final bytes, memoized at the
+        #: first :meth:`place` so responses shared across ranks hash once.
+        self._own_crc: Dict[int, int] = {}
         #: address -> (spec, pinned buffer) memo of foreign buffers already
         #: copied this step — results shared across ranks (Bcast payload,
         #: an Allgatherv merge) are copied once, then descriptor-shared.
@@ -315,6 +341,7 @@ class ResultArena:
         self._step = step
         self._min_released = min_released
         self._own.clear()
+        self._own_crc.clear()
         self._foreign.clear()
         self._issued.clear()
 
@@ -335,6 +362,7 @@ class ResultArena:
                 cand.cursor = 0
                 for addr in cand.addrs:
                     self._own.pop(addr, None)
+                    self._own_crc.pop(addr, None)
                 cand.addrs.clear()
                 self._current = cand
                 return cand, 0
@@ -390,18 +418,28 @@ class ResultArena:
         addr = _buffer_address(flat)
         spec = self._own.get(addr)
         if spec is not None and spec.nbytes == flat.nbytes:
-            return spec
+            if not self._integrity:
+                return spec
+            # own blocks are hashed at first place (their bytes are final
+            # by then: execute() filled them before the response writes)
+            crc = self._own_crc.get(addr)
+            if crc is None:
+                crc = zlib.crc32(flat)
+                self._own_crc[addr] = crc
+            return spec._replace(crc=crc)
         memo = self._foreign.get((addr, flat.nbytes))
         if memo is not None:
             return memo[0]
         seg, off = self._claim(flat.nbytes)
         seg.seg.buf[off:off + flat.nbytes] = flat
-        spec = ShmSpec(seg.seg.name, off, flat.nbytes)
+        crc = zlib.crc32(flat) if self._integrity else -1
+        spec = ShmSpec(seg.seg.name, off, flat.nbytes, crc)
         self._foreign[(addr, flat.nbytes)] = (spec, flat)
         return spec
 
     def close(self) -> None:
         self._own.clear()
+        self._own_crc.clear()
         self._foreign.clear()
         self._issued.clear()
         for s in self._segments:

@@ -2,6 +2,23 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
+
+def format_ranks(ranks: Iterable[int], limit: int = 16) -> str:
+    """Human-readable rank list for diagnostics (``"ranks 1, 3, 7"``).
+
+    Long lists are elided — at thousands of ranks an error message naming
+    every blocked rank is itself unreadable.
+    """
+    ranks = sorted(set(int(r) for r in ranks))
+    if not ranks:
+        return "no ranks"
+    shown = ", ".join(str(r) for r in ranks[:limit])
+    if len(ranks) > limit:
+        shown += f", ... ({len(ranks) - limit} more)"
+    return ("rank " if len(ranks) == 1 else "ranks ") + shown
+
 
 class SimMPIError(RuntimeError):
     """Base class for all simulated-MPI failures."""
@@ -72,6 +89,80 @@ def _rebuild_unpicklable(
     return UnpicklableRankError(
         message, original_type=original_type, original_args=original_args,
         original_traceback=original_traceback)
+
+
+class HungRankError(SimMPIError):
+    """A rank (or the whole job) stopped making progress past the liveness
+    deadline.
+
+    Raised by the watchdog machinery (:mod:`repro.ft.watchdog`): on the
+    ``procs`` backend the supervisor-side watchdog thread declares the
+    laggard rank processes dead (``SIGTERM`` then ``SIGKILL``) and the
+    parent surfaces this error; on the in-process backends a rank whose
+    rendezvous wait exceeds the deadline raises it directly.  Unlike
+    :class:`RemoteRankError` it represents the *originating* failure, so
+    :meth:`Backend._raise_collected` re-raises it with full priority and
+    :func:`repro.ft.recovery.run_with_retries` treats it exactly like a
+    ``die`` fault (relaunch from the last committed epoch).  Attributes:
+
+    ``ranks``
+        The ranks declared hung (tuple, possibly empty when unknown).
+    ``phase``
+        The phase tag the stall was observed in ("" when unknown).
+    ``detection_seconds``
+        Stall duration observed before the hang was declared.
+    """
+
+    def __init__(self, message: str, *, ranks: Sequence[int] = (),
+                 phase: str = "", detection_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.ranks = tuple(int(r) for r in ranks)
+        self.phase = phase
+        self.detection_seconds = float(detection_seconds)
+
+    def __reduce__(self):
+        return (
+            _rebuild_hung,
+            (self.args[0], self.ranks, self.phase, self.detection_seconds),
+        )
+
+
+def _rebuild_hung(message: str, ranks: tuple, phase: str,
+                  detection_seconds: float) -> "HungRankError":
+    return HungRankError(message, ranks=ranks, phase=phase,
+                         detection_seconds=detection_seconds)
+
+
+class PayloadCorruptionError(SimMPIError):
+    """A payload failed its end-to-end checksum at receive.
+
+    Raised when integrity checking (:mod:`repro.ft.integrity`,
+    ``--integrity crc``) finds that a collective contribution, a rendezvous
+    slot, or a shared-memory dataplane descriptor no longer matches the
+    crc32 computed at send time — a flipped bit anywhere between serialize
+    and deserialize.  The supervisor maps it to restart-from-checkpoint
+    like any other rank failure.  Attributes:
+
+    ``rank``
+        The rank whose payload failed verification (None when unknown).
+    ``location``
+        Where the mismatch was detected (``"slot"``, a segment name, or
+        ``"contribution"``).
+    """
+
+    def __init__(self, message: str, *, rank: "int | None" = None,
+                 location: str = "") -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.location = location
+
+    def __reduce__(self):
+        return (_rebuild_corruption, (self.args[0], self.rank, self.location))
+
+
+def _rebuild_corruption(message: str, rank: "int | None",
+                        location: str) -> "PayloadCorruptionError":
+    return PayloadCorruptionError(message, rank=rank, location=location)
 
 
 class InjectedFault(SimMPIError):

@@ -184,12 +184,20 @@ class RecoveryEvent:
     fault-tolerant execution also tells the story of how it got there.
     ``epoch`` is the checkpoint epoch the retry resumed from (None for a
     from-scratch restart), ``error`` a repr of the failure absorbed.
+    ``failure_class`` is the supervisor's classification of that failure
+    (``"hang"`` / ``"corruption"`` / ``"crash"`` / ``"exception"`` — see
+    :func:`repro.ft.recovery.classify_failure`) and ``detection_seconds``
+    how long the failure went undetected before the runtime surfaced it
+    (nonzero only for watchdog-detected hangs, where detection costs real
+    stall time).
     """
 
     attempt: int
     epoch: Optional[int]
     error: str
     backoff_seconds: float
+    failure_class: str = ""
+    detection_seconds: float = 0.0
 
 
 @dataclass
@@ -205,6 +213,24 @@ class CommStats:
     #: bookkeeping only — excluded from :meth:`signature`, merged
     #: additively, and always zero on the other backends.
     saved_switches: int = 0
+    #: Health counters of the failure-detection machinery
+    #: (:mod:`repro.ft.watchdog` / :mod:`repro.ft.integrity`).  Like
+    #: ``saved_switches`` they are engine-side observability only:
+    #: excluded from :meth:`signature`, merged additively, and zero when
+    #: the watchdog / integrity checking are off.
+    #:
+    #: Heartbeat step increments the procs supervisor's watchdog observed.
+    heartbeats_seen: int = 0
+    #: Deadline probe re-checks (watchdog escalation) that still saw no
+    #: progress, plus in-process wait slices past the first on a bounded
+    #: rendezvous wait.
+    deadline_extensions: int = 0
+    #: Payload checksum verifications performed at receive
+    #: (``--integrity crc``).
+    checksum_verifications: int = 0
+    #: Checksum verifications that failed (each raises
+    #: :class:`~repro.simmpi.errors.PayloadCorruptionError`).
+    checksum_failures: int = 0
 
     def record(self, event: CollectiveEvent) -> None:
         self.events.append(event)
@@ -383,6 +409,10 @@ class CommStats:
         self.events.extend(other.events)
         self.recoveries.extend(other.recoveries)
         self.saved_switches += other.saved_switches
+        self.heartbeats_seen += other.heartbeats_seen
+        self.deadline_extensions += other.deadline_extensions
+        self.checksum_verifications += other.checksum_verifications
+        self.checksum_failures += other.checksum_failures
 
     def signature(self) -> List[tuple]:
         """A comparable, bit-exact digest of the event stream.
@@ -422,12 +452,26 @@ class CommStats:
                 f"{nbytes/2**20:.3f} MiB"
             )
         for rec in self.recoveries:
+            cls = f" [{rec.failure_class}]" if rec.failure_class else ""
+            det = (f" detected_after={rec.detection_seconds:.2f}s"
+                   if rec.detection_seconds else "")
             lines.append(
                 f"  recovery     attempt={rec.attempt} "
-                f"resumed_from_epoch={rec.epoch} after {rec.error}"
+                f"resumed_from_epoch={rec.epoch}{cls}{det} after {rec.error}"
             )
         if self.saved_switches:
             lines.append(
                 f"  scheduler    saved_switches={self.saved_switches}"
+            )
+        if self.heartbeats_seen or self.deadline_extensions:
+            lines.append(
+                f"  watchdog     heartbeats_seen={self.heartbeats_seen} "
+                f"deadline_extensions={self.deadline_extensions}"
+            )
+        if self.checksum_verifications or self.checksum_failures:
+            lines.append(
+                f"  integrity    checksum_verifications="
+                f"{self.checksum_verifications} "
+                f"failures={self.checksum_failures}"
             )
         return "\n".join(lines)

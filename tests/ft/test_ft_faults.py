@@ -41,9 +41,16 @@ def test_parse_with_action():
     assert spec == FaultSpec(0, "edge_balance", 3, action="die")
 
 
+def test_parse_delay_with_seconds():
+    spec = parse_fault_spec("1:vertex_refine:4:delay:30")
+    assert spec == FaultSpec(1, "vertex_refine", 4, action="delay",
+                             delay=30.0)
+    assert parse_fault_spec("1:p:0:delay").delay == 0.0
+
+
 @pytest.mark.parametrize("text", [
     "", "2", "2:phase", "a:phase:0", "2:phase:b", "2:phase:0:die:extra",
-    "2:phase:0:explode",
+    "2:phase:0:explode", "2:phase:0:delay:soon", "2:phase:0:die:5",
 ])
 def test_parse_rejects_malformed(text):
     with pytest.raises(ValueError):
@@ -115,14 +122,16 @@ def test_random_plans_are_reproducible():
     assert a.specs != c.specs or True  # different seed may collide; no assert
 
 
+@pytest.mark.parametrize("backend", ["serial", "threads", "procs"])
 def test_delay_fault_does_not_change_the_record(ft_graph, ft_params,
-                                                reference):
+                                                reference, backend):
     """Latency injection perturbs wall time only — parts and the metered
-    record stay bit-identical to the fault-free run."""
+    record stay bit-identical to the fault-free run, on every backend
+    (the procs leg exercises a real sleeping child process)."""
     plan = FaultPlan([FaultSpec(1, "vertex_balance", 3, action="delay",
                                 delay=0.01)])
     res = xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
-                   backend="serial", fault_plan=plan)
+                   backend=backend, fault_plan=plan)
     assert np.array_equal(res.parts, reference.parts)
     assert res.stats.signature() == reference.stats.signature()
 

@@ -135,6 +135,33 @@ def test_backoff_schedule_is_capped():
     assert sched == [0.05, 0.1, 0.2, 0.4, 0.4, 0.4]
 
 
+def test_jittered_backoff_is_seeded_and_bounded():
+    """Full jitter decorrelates lockstep relaunches while staying
+    reproducible: the schedule is a pure function of (seed, attempt) and
+    lands in the top half of the deterministic envelope."""
+    base = RetryPolicy(max_retries=10, backoff_base=0.05, backoff_cap=0.4)
+    a = RetryPolicy(max_retries=10, backoff_base=0.05, backoff_cap=0.4,
+                    jitter_seed=7)
+    b = RetryPolicy(max_retries=10, backoff_base=0.05, backoff_cap=0.4,
+                    jitter_seed=7)
+    c = RetryPolicy(max_retries=10, backoff_base=0.05, backoff_cap=0.4,
+                    jitter_seed=8)
+    sched_a = [a.backoff(n) for n in range(6)]
+    assert sched_a == [b.backoff(n) for n in range(6)]  # same seed, same plan
+    assert sched_a != [c.backoff(n) for n in range(6)]  # decorrelated
+    for n, v in enumerate(sched_a):
+        envelope = base.backoff(n)
+        assert envelope * 0.5 <= v < envelope
+
+
+def test_unjittered_backoff_is_exact_legacy_schedule():
+    """jitter_seed=None keeps the historical deterministic schedule
+    byte-for-byte (existing tests assert slept == [backoff(a)])."""
+    retry = RetryPolicy(backoff_base=0.1, backoff_cap=1.0)
+    assert retry.jitter_seed is None
+    assert [retry.backoff(a) for a in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+
 def test_repeated_faults_consume_multiple_retries(ft_graph, ft_params,
                                                   reference, tmp_path):
     """Two consecutive attempts fail before the third succeeds; both

@@ -1,0 +1,180 @@
+"""End-to-end payload integrity: crc32 verification and the corrupt fault.
+
+The detection oracle: a planted ``corrupt`` fault (one byte flipped in an
+outgoing payload, after its checksum was computed) is detected 100% of the
+time when ``integrity="crc"`` — typed as
+:class:`PayloadCorruptionError` — on every backend and both procs data
+planes.  The purity oracle: with no fault injected, ``crc`` changes
+nothing but the verification counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import xtrapulp
+from repro.ft import (
+    CkptPolicy,
+    FaultPlan,
+    FaultSpec,
+    checksum_obj,
+    default_integrity,
+    validate_integrity,
+)
+from repro.ft.integrity import (
+    INTEGRITY_ENV_VAR,
+    corrupt_buffer,
+    corrupt_object,
+    corruption_seed,
+)
+from repro.ft.recovery import RetryPolicy, run_with_retries
+from repro.simmpi.errors import PayloadCorruptionError
+
+from tests.ft.conftest import NPROCS, PARTS
+
+
+def _corrupt_plan():
+    return FaultPlan([FaultSpec(1, "vertex_balance", 3, action="corrupt")])
+
+
+# -- checksum and corruption primitives --------------------------------------
+
+
+def test_checksum_is_deterministic_and_flip_sensitive():
+    a = np.arange(100, dtype=np.int64)
+    payload = {"x": a, "tag": "alltoallv"}
+    crc = checksum_obj(payload)
+    assert checksum_obj({"x": a.copy(), "tag": "alltoallv"}) == crc
+    a[17] ^= 1  # single-bit flip in the out-of-band buffer
+    assert checksum_obj(payload) != crc
+
+
+def test_corrupt_object_is_deterministic():
+    seed = corruption_seed(rank=1, step=3)
+    a = np.arange(50, dtype=np.float64)
+    b = a.copy()
+    where = corrupt_object([a], seed)
+    assert where is not None and "array" in where
+    corrupt_object([b], seed)
+    assert np.array_equal(a, b)  # same seed, same flip
+    assert not np.array_equal(a, np.arange(50, dtype=np.float64))
+
+
+def test_corrupt_object_skips_payload_free_messages():
+    assert corrupt_object(None, seed=7) is None
+    assert corrupt_object({"empty": np.empty(0)}, seed=7) is None
+
+
+def test_corrupt_buffer_flips_within_region():
+    buf = bytearray(b"\x00" * 64)
+    assert corrupt_buffer(buf, seed=5, start=8, length=16)
+    (idx,) = [i for i, v in enumerate(buf) if v]
+    assert 8 <= idx < 24
+    assert not corrupt_buffer(bytearray(), seed=5)
+
+
+def test_corruption_seeds_distinct_across_attempts():
+    seeds = {corruption_seed(1, 3, attempt=a) for a in range(4)}
+    assert len(seeds) == 4
+
+
+def test_integrity_mode_validation(monkeypatch):
+    assert validate_integrity("crc") == "crc"
+    with pytest.raises(ValueError, match="integrity"):
+        validate_integrity("md5")
+    monkeypatch.delenv(INTEGRITY_ENV_VAR, raising=False)
+    assert default_integrity() == "off"
+    monkeypatch.setenv(INTEGRITY_ENV_VAR, "crc")
+    assert default_integrity() == "crc"
+
+
+# -- detection: a flipped byte never reaches the partition -------------------
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads"])
+def test_inprocess_corruption_detected(ft_graph, ft_params, backend):
+    with pytest.raises(PayloadCorruptionError) as ei:
+        xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
+                 backend=backend, fault_plan=_corrupt_plan(),
+                 integrity="crc")
+    assert "crc" in str(ei.value).lower() or "checksum" in str(ei.value)
+
+
+@pytest.mark.parametrize("dataplane", ["shm", "pickle"])
+def test_procs_corruption_detected_on_both_planes(ft_graph, ft_params,
+                                                  dataplane, monkeypatch):
+    """Transport-level detection: the flip lands in the rendezvous slot or
+    the shared-memory arena after checksumming, and the receive-side crc
+    catches it before deserialization."""
+    monkeypatch.setenv("REPRO_DATAPLANE", dataplane)
+    with pytest.raises(PayloadCorruptionError):
+        xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
+                 backend="procs", fault_plan=_corrupt_plan(),
+                 integrity="crc")
+
+
+def test_corruption_is_undetected_without_integrity(ft_graph, ft_params):
+    """Without crc the flip is never *detected*: the run either completes
+    with silently wrong data or dies on garbled execution — but no typed
+    corruption error is ever raised (the gap crc exists to close)."""
+    try:
+        # integrity pinned off explicitly: CI chaos jobs export
+        # REPRO_INTEGRITY=crc for everything else
+        xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
+                 backend="serial", fault_plan=_corrupt_plan(),
+                 integrity="off")
+    except PayloadCorruptionError:
+        pytest.fail("typed corruption detection with integrity off")
+    except Exception:
+        pass  # garbled downstream execution: the undetected failure mode
+
+
+def test_detected_corruption_increments_failure_counter():
+    """The failing run's own stats record the catch (supervised retries
+    return the clean re-run's stats, so this is asserted at the engine)."""
+    from repro.simmpi import create_runtime
+
+    rt = create_runtime("serial", nprocs=3, integrity="crc")
+    rt.fault_plan = FaultPlan([FaultSpec(1, "*", 0, action="corrupt")])
+    try:
+        with pytest.raises(PayloadCorruptionError):
+            rt.run(lambda comm: comm.Allreduce(np.arange(8.0)))
+        assert rt.stats.checksum_failures > 0
+        assert rt.stats.checksum_verifications > 0
+    finally:
+        rt.close()
+
+
+# -- purity: crc on a clean run changes nothing but the counters -------------
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "procs"])
+def test_crc_clean_run_identical_to_off(ft_graph, ft_params, reference,
+                                        backend):
+    res = xtrapulp(ft_graph, PARTS, nprocs=NPROCS, params=ft_params,
+                   backend=backend, integrity="crc")
+    assert np.array_equal(res.parts, reference.parts)
+    assert res.stats.signature() == reference.stats.signature()
+    assert res.stats.checksum_verifications > 0
+    assert res.stats.checksum_failures == 0
+
+
+# -- containment: corruption is a recoverable failure ------------------------
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "procs"])
+def test_corruption_recovery_is_bit_identical(ft_graph, ft_params, reference,
+                                              tmp_path, backend):
+    retry = RetryPolicy(max_retries=2, sleep=lambda s: None)
+    res = run_with_retries(
+        ft_graph, PARTS, checkpoint=CkptPolicy(dir=str(tmp_path / "run")),
+        fault_plan=_corrupt_plan(), retry=retry,
+        nprocs=NPROCS, params=ft_params, backend=backend, integrity="crc",
+    )
+    assert np.array_equal(res.parts, reference.parts)
+    res_part = [s for s in res.stats.signature() if s[1] != "checkpoint"]
+    assert res_part == reference.stats.signature()
+    (ev,) = res.stats.recoveries
+    assert ev.failure_class == "corruption"
+    # the final (clean, resumed) attempt still verified every payload
+    assert res.stats.checksum_verifications > 0
+    assert res.stats.checksum_failures == 0
