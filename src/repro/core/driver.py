@@ -49,6 +49,7 @@ from repro.ft.checkpoint import (
     write_checkpoint,
 )
 from repro.graph.csr import Graph
+from repro.multilevel.info import MultilevelInfo
 from repro.simmpi.backends import Backend, create_runtime
 from repro.simmpi.comm import SimComm
 from repro.simmpi.topology import default_comm
@@ -57,13 +58,18 @@ from repro.simmpi.metrics import CommStats
 from repro.simmpi.timing import BLUE_WATERS_LIKE, MachineModel, TimeModel
 
 #: Phase tags that count toward partitioning time (build/gather excluded,
-#: matching the paper's timed region).
+#: matching the paper's timed region).  The last three are emitted only
+#: by multilevel runs (coarsening, per-level weighted refinement, and
+#: partition projection — all genuine partitioning work).
 PARTITION_PHASES = (
     "init",
     "vertex_balance",
     "vertex_refine",
     "edge_balance",
     "edge_refine",
+    "coarsen",
+    "ml_refine",
+    "project",
 )
 
 
@@ -80,6 +86,7 @@ class PartitionResult:
     machine: MachineModel = BLUE_WATERS_LIKE
     backend: str = "threads"
     comm: str = "flat"
+    multilevel: Optional[MultilevelInfo] = None
     _graph: Optional[Graph] = field(default=None, repr=False)
 
     @property
@@ -129,7 +136,18 @@ def _rank_main(
     (deterministic, re-executed) graph build and re-enters the loop at the
     checkpoint's ``next_step``.  With a :class:`CkptContext`, the policy's
     boundaries deposit a checkpoint collective after the step completes.
+
+    ``params.multilevel`` swaps in the V-cycle body (which returns a
+    3-tuple carrying its :class:`MultilevelInfo`); imported lazily to
+    keep ``core`` ↔ ``multilevel`` imports acyclic.
     """
+    if params.multilevel:
+        from repro.multilevel.driver import multilevel_rank_main
+
+        return multilevel_rank_main(
+            comm, graph, dist, num_parts, params, initial_parts,
+            vertex_weights, ckpt, resume,
+        )
     dg = build_dist_graph(comm, graph, dist)
     n_build = comm.event_count  # same on every rank: the build is BSP
     state = RankState(dg=dg, num_parts=num_parts, params=params)
@@ -267,6 +285,11 @@ def xtrapulp(
         if vertex_weights.size and vertex_weights.min() <= 0:
             raise ValueError("vertex_weights must be positive")
     params = params or PulpParams()
+    if params.multilevel and initial_parts is not None:
+        raise ValueError(
+            "multilevel does not accept initial_parts (projecting an "
+            "existing assignment down the hierarchy is not supported)"
+        )
     if isinstance(distribution, str):
         dist = make_distribution(
             distribution, graph.n, nprocs, seed=params.seed
@@ -362,7 +385,12 @@ def xtrapulp(
 
     parts = np.empty(graph.n, dtype=np.int64)
     seen = 0
-    for gids, owned_parts in per_rank:
+    ml_info: Optional[MultilevelInfo] = None
+    for item in per_rank:
+        gids, owned_parts = item[0], item[1]
+        if len(item) == 3:
+            # multilevel body: every rank returns the same info object
+            ml_info = item[2]
         parts[gids] = owned_parts
         seen += gids.size
     if seen != graph.n:
@@ -396,5 +424,6 @@ def xtrapulp(
         backend=runtime.name,
         comm=(runtime.comm_strategy.name if runtime.comm_strategy is not None
               else "flat"),
+        multilevel=ml_info,
         _graph=graph if keep_graph else None,
     )

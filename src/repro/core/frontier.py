@@ -87,7 +87,11 @@ class FrontierSweeper:
     """
 
     def __init__(
-        self, state: RankState, phase: str, cleanup_iter: Optional[int] = None
+        self,
+        state: RankState,
+        phase: str,
+        cleanup_iter: Optional[int] = None,
+        seed_lids: Optional[np.ndarray] = None,
     ) -> None:
         self.state = state
         self.dg = state.dg
@@ -118,6 +122,14 @@ class FrontierSweeper:
         else:
             self._dirt = None
             self._thresh = None
+        if seed_lids is not None and self.track and not self.force_full:
+            # caller knows where the action is (e.g. multilevel projection
+            # seeds cluster boundaries): start from that active set instead
+            # of the exhaustive iteration-0 sweep.  The cleanup pass still
+            # catches anything the seed missed.
+            self._frontier = np.unique(
+                np.asarray(seed_lids, dtype=np.int64)
+            )
 
     # -- checkpointing -------------------------------------------------------
 

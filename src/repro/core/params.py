@@ -84,6 +84,34 @@ class PulpParams:
         updates are exact (``mult == 1`` always, no distributed throttle).
         Used by :func:`repro.baselines.pulp_shared.pulp` together with a
         zero-latency machine model.
+    multilevel:
+        Run the multilevel V-cycle (:mod:`repro.multilevel`) instead of
+        the flat pipeline: coarsen to a small graph, partition it with
+        the flat machinery, project back up with bounded weighted refine
+        sweeps per level.  The edge stage still runs last, on the fine
+        graph.
+    ml_levels:
+        Maximum hierarchy depth including the input graph (coarsening
+        also stops at the size target or on stagnation).
+    ml_coarsen:
+        Clustering used by the coarsener: ``"lp"`` (distributed
+        size-constrained label propagation, clusters may span ranks) or
+        ``"hem"`` (per-rank heavy-edge matching on the owned-induced
+        subgraph — the shared-memory kernel reused verbatim).
+    ml_coarsest_factor:
+        Coarsening size target, in vertices per part: stop once the
+        level has at most ``ml_coarsest_factor * num_parts`` vertices
+        (never below ``2 * nprocs``).
+    ml_refine_iters:
+        Weighted refine sweeps per uncoarsening level.
+    ml_imbalance_relax:
+        Adaptive balance schedule: level ``l`` (0 = finest) targets
+        ``Rat_v * (1 + relax * l / (n_levels - 1))`` — loose at the
+        coarsest level, where a handful of heavy clusters makes the
+        strict constraint block nearly every cut-improving move, then
+        tightened by a balance pass per uncoarsening level until the
+        finest level enforces exactly ``Rat_v``.  ``0`` disables the
+        relaxation.
     seed:
         Base RNG seed; rank r uses ``seed + r`` streams.
     """
@@ -107,6 +135,12 @@ class PulpParams:
     max_init_rounds: Optional[int] = None
     single_objective: bool = False
     shared_memory: bool = False
+    multilevel: bool = False
+    ml_levels: int = 8
+    ml_coarsen: str = "lp"
+    ml_coarsest_factor: int = 30
+    ml_refine_iters: int = 6
+    ml_imbalance_relax: float = 2.0
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -134,6 +168,18 @@ class PulpParams:
             parse_comm_spec(self.comm)
         if self.init_strategy not in ("hybrid", "random", "block"):
             raise ValueError(f"unknown init strategy {self.init_strategy!r}")
+        if self.ml_coarsen not in ("lp", "hem"):
+            raise ValueError(
+                f"ml_coarsen must be 'lp' or 'hem', got {self.ml_coarsen!r}"
+            )
+        if self.ml_levels < 1:
+            raise ValueError("ml_levels must be >= 1")
+        if self.ml_coarsest_factor < 1:
+            raise ValueError("ml_coarsest_factor must be >= 1")
+        if self.ml_refine_iters < 1:
+            raise ValueError("ml_refine_iters must be >= 1")
+        if self.ml_imbalance_relax < 0:
+            raise ValueError("ml_imbalance_relax must be non-negative")
 
     @property
     def total_iters(self) -> int:

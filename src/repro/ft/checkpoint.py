@@ -112,7 +112,8 @@ def checkpoint_after(plan: Sequence[Tuple[str, int, str]], idx: int,
         return False
     if every == "phase":
         return True
-    return plan[idx][2] in ("init", "vertex_refine", "edge_refine")
+    return plan[idx][2] in ("init", "vertex_refine", "edge_refine",
+                            "ml_refine")
 
 
 # -- signatures --------------------------------------------------------------

@@ -10,7 +10,7 @@ from repro.baselines.multilevel import (
     _heavy_edge_matching,
 )
 from repro.core.quality import edge_cut_ratio, vertex_balance
-from repro.graph import mesh3d, rmat, ring, rand_hd, webcrawl
+from repro.graph import from_edges, mesh3d, rmat, ring, rand_hd, webcrawl
 from repro.graph.builders import to_scipy
 
 
@@ -72,6 +72,46 @@ def test_memory_budget_failure():
     g = rmat(11, 16, seed=1)
     with pytest.raises(MultilevelResourceError):
         multilevel_partition(g, 4, memory_budget_factor=0.5, seed=0)
+
+
+def test_budget_error_reports_level_and_allocation():
+    g = rmat(11, 16, seed=1)
+    with pytest.raises(MultilevelResourceError) as exc:
+        multilevel_partition(g, 4, memory_budget_factor=0.5, seed=0)
+    err = exc.value
+    # the error pinpoints WHERE the hierarchy refused to fit: the level
+    # being built and the coarse-edge allocation that overflowed
+    assert err.level >= 1
+    assert err.requested > 0
+    assert f"level {err.level}" in str(err)
+    assert str(err.requested) in str(err)
+    assert "budget" in str(err)
+
+
+def test_stagnation_error_reports_level_and_allocation():
+    # a near-edgeless graph: matching merges almost nothing, so
+    # coarsening stagnates far above the coarsest target
+    n = 3000
+    srcs = np.arange(0, 40, 2)
+    dsts = np.arange(1, 40, 2)
+    g = from_edges(n, srcs, dsts)
+    with pytest.raises(MultilevelResourceError) as exc:
+        multilevel_partition(g, 2, seed=0)
+    err = exc.value
+    assert err.level == 1
+    assert err.requested >= 0
+    assert "stagnated" in str(err)
+    assert f"level {err.level}" in str(err)
+
+
+def test_kernels_are_shared_with_the_distributed_coarsener():
+    # the baseline's matching/contraction are re-exports of the kernels
+    # module the distributed subsystem uses — the same objects, so the
+    # two coarseners can never drift apart
+    from repro.multilevel import kernels
+
+    assert _heavy_edge_matching is kernels.heavy_edge_matching
+    assert _contract is kernels.contract
 
 
 def test_matching_produces_valid_pairing():

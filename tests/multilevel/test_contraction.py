@@ -1,0 +1,131 @@
+"""Property tests on the distributed coarsener (ISSUE 10 satellite).
+
+The contraction invariants, per hierarchy level:
+
+- **vertex-weight conservation** — coarse vertex mass sums to the fine
+  graph's (the simulator's unit weights: exactly ``n`` at every level);
+- **edge-weight conservation** — the coarse level's total edge weight
+  equals the fine level's inter-cluster weight (intra-cluster weight is
+  folded into vertices, never lost);
+- **distribution consistency** — each coarse level's ranks jointly own
+  every vertex exactly once and each ghost's recorded owner matches the
+  level's distribution (the ghost-count conservation check: ghosts exist
+  precisely where the one-hop neighborhood crosses ranks).
+
+All replicated per-level arrays must also be bit-identical across ranks:
+the hierarchy is a pure function of ``(graph, dist, params)``, which is
+what makes checkpoint resume re-execute it deterministically.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PulpParams
+from repro.dist import make_distribution
+from repro.graph import rmat
+from repro.multilevel.coarsen import local_eweights
+from repro.multilevel.driver import build_hierarchy
+from repro.simmpi import Runtime
+
+
+def _arc_sources(graph):
+    """Source vertex of every CSR arc (global view)."""
+    return np.repeat(np.arange(graph.n), np.diff(graph.offsets))
+
+
+@st.composite
+def hierarchy_cases(draw):
+    scale = draw(st.integers(min_value=6, max_value=8))
+    deg = draw(st.integers(min_value=4, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=500))
+    nprocs = draw(st.integers(min_value=1, max_value=4))
+    mode = draw(st.sampled_from(["lp", "hem"]))
+    return scale, deg, seed, nprocs, mode
+
+
+def _build(scale, deg, seed, nprocs, mode):
+    g = rmat(scale, deg, seed=seed)
+    params = PulpParams(
+        multilevel=True, ml_coarsen=mode, ml_levels=4,
+        ml_coarsest_factor=8, seed=seed,
+    )
+    dist = make_distribution("random", g.n, nprocs, seed=seed % 97)
+    per_rank = Runtime(nprocs).run(
+        lambda comm: build_hierarchy(comm, g, dist, 2, params, None)
+    )
+    return g, per_rank
+
+
+@settings(max_examples=15, deadline=None)
+@given(hierarchy_cases())
+def test_contraction_invariants(case):
+    g, per_rank = _build(*case)
+    levels = per_rank[0]
+    assert levels[0].graph.n == g.n
+    for i in range(1, len(levels)):
+        fine, coarse = levels[i - 1], levels[i]
+        f2c = coarse.fine2coarse
+        # a total surjective map onto the coarse id range
+        assert f2c.shape == (fine.graph.n,)
+        assert np.array_equal(
+            np.unique(f2c), np.arange(coarse.graph.n)
+        )
+        assert coarse.graph.n < fine.graph.n
+        # vertex mass conserved exactly (unit fine weights => n everywhere)
+        assert coarse.vweights.sum() == g.n
+        np.testing.assert_array_equal(
+            coarse.vweights,
+            np.bincount(f2c, weights=fine.vweights,
+                        minlength=coarse.graph.n),
+        )
+        # edge weight conserved: coarse total == fine inter-cluster weight
+        srcs = _arc_sources(fine.graph)
+        inter = fine.eweights[f2c[srcs] != f2c[fine.graph.adj]].sum()
+        assert coarse.eweights.sum() == inter
+        # contraction folds intra-cluster arcs: no coarse self loops
+        csrcs = _arc_sources(coarse.graph)
+        assert np.all(csrcs != coarse.graph.adj)
+
+
+@settings(max_examples=15, deadline=None)
+@given(hierarchy_cases())
+def test_hierarchy_distribution_and_replication(case):
+    g, per_rank = _build(*case)
+    depth = len(per_rank[0])
+    assert all(len(lv) == depth for lv in per_rank)
+    for i in range(depth):
+        ref = per_rank[0][i]
+        # replicated arrays bit-identical on every rank
+        for lv in per_rank[1:]:
+            np.testing.assert_array_equal(lv[i].graph.adj, ref.graph.adj)
+            np.testing.assert_array_equal(lv[i].eweights, ref.eweights)
+            np.testing.assert_array_equal(lv[i].vweights, ref.vweights)
+            if i:
+                np.testing.assert_array_equal(
+                    lv[i].fine2coarse, ref.fine2coarse
+                )
+        # ranks jointly own every vertex exactly once
+        owned = np.sort(np.concatenate(
+            [lv[i].dg.owned_gids for lv in per_rank]
+        ))
+        np.testing.assert_array_equal(owned, np.arange(ref.graph.n))
+        for lv in per_rank:
+            dg = lv[i].dg
+            # ghosts carry the distribution's owner, never the local rank
+            for gid, owner in zip(dg.ghost_gids, dg.ghost_owners):
+                assert lv[i].dist.owner(int(gid)) == owner
+                assert owner != dg.rank
+            # the local arc weights are the global slice for this rank
+            np.testing.assert_array_equal(
+                lv[i].ew_local,
+                local_eweights(lv[i].graph, lv[i].eweights, dg),
+            )
+
+
+def test_hierarchy_is_deterministic():
+    a = _build(7, 8, 11, 3, "lp")[1]
+    b = _build(7, 8, 11, 3, "lp")[1]
+    assert len(a[0]) == len(b[0]) >= 2
+    for la, lb in zip(a[0], b[0]):
+        np.testing.assert_array_equal(la.graph.adj, lb.graph.adj)
+        np.testing.assert_array_equal(la.eweights, lb.eweights)

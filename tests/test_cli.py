@@ -61,6 +61,31 @@ def test_cli_options(graph_file):
     ]) == 0
 
 
+def test_cli_multilevel_reports_hierarchy(graph_file, capsys):
+    path, _ = graph_file
+    rc = main([path, "-p", "4", "-r", "2", "--backend", "serial",
+               "--multilevel", "--ml-coarsen", "hem", "--ml-levels", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "multilevel:" in out and "hem coarsening" in out
+    assert "cut trajectory" in out
+
+
+def test_cli_multilevel_matches_library(graph_file, tmp_path):
+    path, g = graph_file
+    out = tmp_path / "parts.txt"
+    rc = main([path, "-p", "4", "-r", "2", "--backend", "serial",
+               "--multilevel", "-o", str(out)])
+    assert rc == 0
+    from repro.core import PulpParams, xtrapulp
+
+    ref = xtrapulp(g, 4, nprocs=2, params=PulpParams(multilevel=True),
+                   backend="serial")
+    np.testing.assert_array_equal(
+        np.loadtxt(out, dtype=np.int64), ref.parts
+    )
+
+
 # -- fault-tolerance flags and exit codes ------------------------------------
 
 FT = ["-p", "4", "-r", "2", "--backend", "serial"]
